@@ -1,0 +1,99 @@
+// Extension X2 — design-choice ablations on the two-source scenario:
+//
+//  * fusion range d (the paper's key knob: too small -> false negatives on
+//    weak sources; too large -> interference between sources, Fig. 2-like);
+//  * resampling noise sigma_N (0 = degeneracy, large = blur);
+//  * random replacement fraction (0 = blind to new sources);
+//  * particle count NP (coverage vs cost).
+#include <iostream>
+#include <limits>
+
+#include "bench_util.hpp"
+#include "radloc/eval/experiment.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+
+namespace {
+
+using namespace radloc;
+
+std::vector<double> run_config(const Scenario& scenario, const LocalizerConfig& cfg,
+                               double knob, std::size_t trials, std::uint64_t seed) {
+  ExperimentOptions opts;
+  opts.trials = trials;
+  opts.time_steps = 20;
+  opts.seed = seed;
+  opts.localizer = cfg;
+  opts.use_scenario_defaults = false;
+  const auto r = run_experiment(scenario, opts);
+  return {knob, r.avg_error_all(10, 20), r.avg_false_positives(10, 20),
+          r.avg_false_negatives(10, 20)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  const std::size_t trials = bench::trials(3);
+  const auto scenario = make_scenario_a(10.0, 5.0, false);
+  const std::vector<std::string> header{"value", "err_late", "FP_late", "FN_late"};
+
+  LocalizerConfig base;
+  base.filter.num_particles = 2000;
+  base.filter.fusion_range = 28.0;
+
+  std::cout << "Design-choice ablations (two 10 uCi sources, " << trials << " trials).\n";
+
+  {
+    std::vector<std::vector<double>> rows;
+    for (const double d : {10.0, 20.0, 28.0, 40.0, 60.0, 150.0}) {
+      LocalizerConfig cfg = base;
+      cfg.filter.fusion_range = d;
+      rows.push_back(run_config(scenario, cfg, d, trials, 100));
+    }
+    print_banner(std::cout, "fusion range d (paper default 28; 150 ~ no fusion range)");
+    print_table(std::cout, header, rows);
+  }
+  {
+    std::vector<std::vector<double>> rows;
+    for (const double s : {0.0, 1.0, 3.0, 6.0, 12.0}) {
+      LocalizerConfig cfg = base;
+      cfg.filter.resample_noise_sigma = s;
+      rows.push_back(run_config(scenario, cfg, s, trials, 200));
+    }
+    print_banner(std::cout, "resampling noise sigma_N (paper default 3)");
+    print_table(std::cout, header, rows);
+  }
+  {
+    std::vector<std::vector<double>> rows;
+    for (const double f : {0.0, 0.02, 0.05, 0.15, 0.30}) {
+      LocalizerConfig cfg = base;
+      cfg.filter.random_replacement_frac = f;
+      rows.push_back(run_config(scenario, cfg, f, trials, 300));
+    }
+    print_banner(std::cout, "random replacement fraction (paper default 0.05)");
+    print_table(std::cout, header, rows);
+  }
+  {
+    std::vector<std::vector<double>> rows;
+    for (const std::size_t np : {250u, 500u, 1000u, 2000u, 4000u, 8000u}) {
+      LocalizerConfig cfg = base;
+      cfg.filter.num_particles = np;
+      rows.push_back(run_config(scenario, cfg, static_cast<double>(np), trials, 400));
+    }
+    print_banner(std::cout, "particle count NP (paper: 2000 for the 100x100 area)");
+    print_table(std::cout, header, rows);
+  }
+  {
+    std::vector<std::vector<double>> rows;
+    for (const double thr : {-1e18, 0.0, 3.0, 10.0, 30.0}) {
+      LocalizerConfig cfg = base;
+      cfg.detection_log_lr = thr;
+      rows.push_back(run_config(scenario, cfg, thr < -1e17 ? -1.0 : thr, trials, 500));
+    }
+    print_banner(std::cout,
+                 "detection log-LR threshold (-1 row = accept every mean-shift mode)");
+    print_table(std::cout, header, rows);
+  }
+  return 0;
+}

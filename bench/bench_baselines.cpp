@@ -1,0 +1,137 @@
+// Extension X1 — baseline comparison backing the paper's Sec. II claims:
+//
+//  * MLE + model selection "does not scale beyond four sources" [2]: its
+//    optimization cost explodes with K and its selected K degrades;
+//  * grid-discretized solvers [16] pay for resolution;
+//  * the joint-state particle filter needs K known a priori;
+//  * the proposed localizer holds a constant parameter space as K grows.
+//
+// For K = 1..4 true sources we run each method on the same measurement set
+// and report mean localization error (over matched sources), |K̂ - K|, and
+// wall time.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/baselines/em_gmm.hpp"
+#include "radloc/baselines/grid_solver.hpp"
+#include "radloc/baselines/joint_pf.hpp"
+#include "radloc/baselines/mle.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace {
+
+using namespace radloc;
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  const std::size_t steps = 10;
+
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+
+  // Well-separated truth sets of increasing K.
+  const std::vector<Source> all_sources{
+      {{25, 70}, 40.0}, {{75, 30}, 60.0}, {{80, 80}, 30.0}, {{20, 20}, 50.0}};
+
+  std::cout << "Baseline comparison: mean loc. error / |Khat-K| / wall seconds, "
+            << steps << " time steps of data, 6x6 grid.\n";
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t k = 1; k <= all_sources.size(); ++k) {
+    const std::vector<Source> truth(all_sources.begin(),
+                                    all_sources.begin() + static_cast<std::ptrdiff_t>(k));
+    MeasurementSimulator sim(env, sensors, truth);
+    Rng noise(40 + k);
+    std::vector<Measurement> batch_all;
+    std::vector<std::vector<Measurement>> by_step;
+    for (std::size_t t = 0; t < steps; ++t) {
+      by_step.push_back(sim.sample_time_step(noise));
+      batch_all.insert(batch_all.end(), by_step.back().begin(), by_step.back().end());
+    }
+
+    std::vector<double> row{static_cast<double>(k)};
+    auto score = [&](const std::vector<SourceEstimate>& est, double secs) {
+      const auto match = match_estimates(truth, est);
+      row.push_back(match.mean_error());
+      row.push_back(std::abs(static_cast<double>(est.size()) - static_cast<double>(k)));
+      row.push_back(secs);
+    };
+
+    {  // Proposed fusion-range localizer (K unknown).
+      LocalizerConfig cfg;
+      cfg.filter.num_particles = 2000;
+      MultiSourceLocalizer loc(env, sensors, cfg, 50 + k);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto& batch : by_step) loc.process_all(batch);
+      score(loc.estimate(), seconds_since(t0));
+    }
+    {  // Joint-state PF (K GIVEN — an advantage the others don't get).
+      JointPfConfig cfg;
+      cfg.num_sources = k;
+      cfg.num_particles = 2000 * k;  // linear growth; paper argues exponential is needed
+      JointParticleFilter pf(env, sensors, cfg, Rng(60 + k));
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto& m : batch_all) pf.process(m);
+      score(pf.estimate(), seconds_since(t0));
+    }
+    {  // MLE + BIC model selection (K estimated).
+      MleConfig cfg;
+      cfg.max_sources = all_sources.size() + 1;
+      cfg.restarts = 4;
+      cfg.optimizer.max_evaluations = 2000;
+      MleLocalizer mle(env, sensors, cfg);
+      Rng rng(70 + k);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto fit = mle.fit(batch_all, rng);
+      score(fit.sources, seconds_since(t0));
+    }
+    {  // EM Gaussian-mixture with AIC (Ding & Cheng [15] style).
+      EmConfig cfg;
+      cfg.max_components = all_sources.size() + 1;
+      EmGmmLocalizer em(env, sensors, cfg);
+      Rng rng(80 + k);
+      std::vector<double> avg(sensors.size(), 0.0);
+      for (const auto& m : batch_all) avg[m.sensor] += m.cpm;
+      for (auto& v : avg) v /= static_cast<double>(steps);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto fit = em.fit(avg, rng);
+      score(fit.sources, seconds_since(t0));
+    }
+    {  // Grid-discretized NNLS solver.
+      GridSolverConfig cfg;
+      cfg.cells_x = 25;
+      cfg.cells_y = 25;
+      GridSolver solver(env, sensors, cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto fit = solver.fit_measurements(batch_all);
+      score(fit.sources, seconds_since(t0));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const std::vector<std::string> header{
+      "K",       "ours_err", "ours_dK", "ours_s",  "jpf_err",  "jpf_dK",  "jpf_s",
+      "mle_err", "mle_dK",   "mle_s",   "em_err",  "em_dK",    "em_s",
+      "grid_err", "grid_dK", "grid_s"};
+  print_banner(std::cout, "error / K-mismatch / seconds by method and true K");
+  print_table(std::cout, header, rows, 3);
+  std::cout << "\nExpected shape: 'ours' holds errors low with near-zero dK at flat cost;\n"
+            << "MLE cost grows steeply with K and its selected K drifts; the joint PF\n"
+            << "needs K given and more particles as K grows; the EM mixture blurs and\n"
+            << "under-counts; the grid solver's accuracy is capped by its cell size.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension X9 — regional (tiled) distributed localization.
+//
+// The fusion range makes updates local, so the area can be partitioned
+// into tiles running independent localizers in parallel, merged by core
+// ownership. This bench runs Scenario B under 1x1 / 2x2 / 4x4 tilings and
+// reports accuracy and wall time per time step — the distributed-systems
+// payoff of the paper's locality property.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/common/math.hpp"
+#include "radloc/distributed/regional.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+int main() {
+  using namespace radloc;
+  const std::size_t trials = bench::trials(3);
+
+  auto scenario = make_scenario_b(5.0, false);
+  std::cout << "Regional distributed localization on Scenario B (196 sensors, 9\n"
+            << "sources), global particle budget 15000, " << trials << " trials.\n";
+
+  std::vector<std::vector<double>> rows;
+  for (const std::size_t tiles : {1u, 2u, 4u}) {
+    RunningStats err, fn, fp, ms_per_step;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+      RegionalConfig cfg;
+      cfg.tiles_x = tiles;
+      cfg.tiles_y = tiles;
+      cfg.localizer.filter.num_particles = 15000;
+      cfg.num_threads = tiles * tiles;  // one worker per tile
+      RegionalLocalizerGrid grid(scenario.env, scenario.sensors, cfg, 800 + trial);
+      Rng noise(810 + trial);
+
+      double seconds = 0.0;
+      for (int t = 0; t < 15; ++t) {
+        const auto batch = sim.sample_time_step(noise);
+        const auto t0 = std::chrono::steady_clock::now();
+        grid.process_time_step(batch);
+        seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto estimates = grid.estimate();
+      seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      const auto match = match_estimates(scenario.sources, estimates);
+      err.add(match.mean_error());
+      fn.add(static_cast<double>(match.false_negatives));
+      fp.add(static_cast<double>(match.false_positives));
+      ms_per_step.add(1e3 * seconds / 15.0);
+    }
+    rows.push_back({static_cast<double>(tiles * tiles), err.mean(), fn.mean(), fp.mean(),
+                    ms_per_step.mean()});
+  }
+
+  print_banner(std::cout, "tiling sweep: accuracy parity + per-step wall time");
+  const std::vector<std::string> header{"tiles", "err", "FN", "FP", "ms_per_step"};
+  print_table(std::cout, header, rows);
+  std::cout << "\nExpected shape: localization error holds across tilings (locality!)\n"
+            << "and per-step time falls ~3x from 1 to 16 tiles. The cost of\n"
+            << "distribution is a few extra false positives: each tile validates\n"
+            << "modes against only its own sensors, so seam ghosts survive that a\n"
+            << "global view would refute.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 2 — what happens WITHOUT the fusion range: a conventional particle
+// filter fed two sources gravitates toward whichever source's sensors
+// reported most recently, oscillating between them as the sensor sweep
+// proceeds.
+//
+// The bench runs (a) the typical single-state particle filter (joint filter
+// with K = 1, every measurement updates every particle — the formulation
+// Fig. 2 illustrates) and (b) the fusion-range filter, on the same
+// two-source world, and prints the particle-centroid distance to each
+// source across iterations of one sensor sweep, plus an oscillation
+// summary.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/baselines/joint_pf.hpp"
+#include "radloc/common/math.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+int main() {
+  using namespace radloc;
+  // Fig. 2's layout: sources A (upper-left region) and B (lower-right).
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+  const std::vector<Source> sources{{{25, 75}, 50.0}, {{80, 25}, 50.0}};
+  MeasurementSimulator sim(env, sensors, sources);
+
+  JointPfConfig joint_cfg;
+  joint_cfg.num_sources = 1;  // the typical "one source state" filter
+  joint_cfg.num_particles = 2000;
+  JointParticleFilter no_fusion(env, sensors, joint_cfg, Rng(7));
+
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 2000;
+  MultiSourceLocalizer fusion(env, sensors, cfg, 7);
+
+  Rng noise(8);
+  std::cout << "Fig. 2 reproduction: particle centroid of a conventional (no fusion\n"
+            << "range) filter vs the fusion-range filter; two 50 uCi sources at\n"
+            << "(25,75) [A] and (80,25) [B].\n";
+
+  // Warm up 3 time steps, then trace one full sensor sweep per row.
+  for (int t = 0; t < 3; ++t) {
+    for (const auto& m : sim.sample_time_step(noise)) {
+      no_fusion.process(m);
+      fusion.process(m);
+    }
+  }
+
+  std::vector<std::vector<double>> rows;
+  RunningStats swing;
+  for (int t = 3; t < 8; ++t) {
+    for (const auto& m : sim.sample_time_step(noise)) {
+      no_fusion.process(m);
+      fusion.process(m);
+      const Point2 c = no_fusion.centroid();
+      swing.add(distance(c, sources[0].pos));
+    }
+    const Point2 c = no_fusion.centroid();
+    auto mass_near = [&](const Point2& p) {
+      const auto& f = fusion.filter();
+      double mass = 0.0;
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        if (distance(f.positions()[i], p) < 15.0) mass += f.weights()[i];
+      }
+      return mass;
+    };
+    rows.push_back({static_cast<double>(t), distance(c, sources[0].pos),
+                    distance(c, sources[1].pos), mass_near(sources[0].pos),
+                    mass_near(sources[1].pos)});
+  }
+
+  const std::vector<std::string> header{"step", "noFus_dA", "noFus_dB", "fus_massA",
+                                        "fus_massB"};
+  print_banner(std::cout, "Fig. 2: centroid drift (no fusion) vs stable bimodal mass (fusion)");
+  print_table(std::cout, header, rows);
+
+  std::cout << "\nno-fusion centroid distance-to-A over all iterations: min " << swing.min()
+            << ", max " << swing.max() << " (swing " << swing.max() - swing.min() << ")\n"
+            << "A centroid cannot represent both sources: it oscillates/settles between\n"
+            << "them, while the fusion-range filter holds mass at BOTH sources.\n";
+  return 0;
+}

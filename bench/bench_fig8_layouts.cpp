@@ -1,0 +1,73 @@
+// Fig. 8 — the three scenario layouts (sensors, sources, obstacles).
+//
+// Prints the exact coordinates used by this reproduction plus an ASCII
+// rendering of each layout. Scenario B/C source coordinates were published
+// only as a plot; DESIGN.md documents how these were chosen.
+#include <iostream>
+#include <vector>
+
+#include "radloc/eval/scenarios.hpp"
+
+namespace {
+
+using namespace radloc;
+
+void render(const Scenario& s) {
+  constexpr int kW = 52;
+  constexpr int kH = 26;
+  const AreaBounds& b = s.env.bounds();
+  std::vector<std::string> canvas(kH, std::string(kW, ' '));
+
+  auto plot = [&](const Point2& p, char c) {
+    const int x = std::min(kW - 1, static_cast<int>((p.x - b.min.x) / b.width() * kW));
+    const int y = std::min(kH - 1, static_cast<int>((p.y - b.min.y) / b.height() * kH));
+    canvas[kH - 1 - y][x] = c;
+  };
+
+  // Obstacles first (interior fill), then sensors, then sources on top.
+  for (int cy = 0; cy < kH; ++cy) {
+    for (int cx = 0; cx < kW; ++cx) {
+      const Point2 p{b.min.x + (cx + 0.5) / kW * b.width(),
+                     b.min.y + (kH - 1 - cy + 0.5) / kH * b.height()};
+      for (const auto& o : s.env.obstacles()) {
+        if (o.shape().contains(p)) canvas[cy][cx] = '#';
+      }
+    }
+  }
+  for (const auto& sensor : s.sensors) plot(sensor.pos, '+');
+  for (const auto& src : s.sources) plot(src.pos, 'S');
+
+  for (const auto& row : canvas) std::cout << "  |" << row << "|\n";
+}
+
+void describe(const Scenario& s) {
+  std::cout << "\n== Scenario " << s.name << " ==\n";
+  std::cout << "area: " << s.env.bounds().width() << " x " << s.env.bounds().height()
+            << ", sensors: " << s.sensors.size() << ", sources: " << s.sources.size()
+            << ", obstacles: " << s.env.obstacles().size()
+            << (s.out_of_order_delivery ? ", out-of-order delivery" : "") << "\n";
+  std::cout << "sources (x, y, strength uCi):\n";
+  for (std::size_t j = 0; j < s.sources.size(); ++j) {
+    std::cout << "  S" << j + 1 << ": (" << s.sources[j].pos.x << ", " << s.sources[j].pos.y
+              << ", " << s.sources[j].strength << ")\n";
+  }
+  for (std::size_t j = 0; j < s.env.obstacles().size(); ++j) {
+    const auto& box = s.env.obstacles()[j].shape().aabb();
+    std::cout << "  obstacle " << j + 1 << ": bbox (" << box.min.x << "," << box.min.y
+              << ")-(" << box.max.x << "," << box.max.y
+              << "), mu = " << s.env.obstacles()[j].mu() << " per unit\n";
+  }
+  std::cout << "layout ('S' source, '+' sensor, '#' obstacle):\n";
+  render(s);
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  std::cout << "Fig. 8 reproduction: scenario layouts.\n";
+  describe(make_scenario_a(10.0, 5.0, /*with_obstacle=*/true));
+  describe(make_scenario_b());
+  describe(make_scenario_c());
+  return 0;
+}

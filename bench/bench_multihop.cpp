@@ -1,0 +1,112 @@
+// Extension X3 — localization under a realistic multi-hop network.
+//
+// The paper motivates the one-unordered-measurement-per-iteration design
+// with multi-hop wireless realities: latency grows with hop count, relays
+// die, links lose packets. This bench quantifies the claim: the same
+// two-source scene localized through progressively worse network stacks,
+// including relay failures that orphan whole subtrees mid-run.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "radloc/common/math.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/simulator.hpp"
+#include "radloc/sensornet/topology.hpp"
+
+namespace {
+
+using namespace radloc;
+
+struct Row {
+  double err;
+  double fp;
+  double fn;
+  double delivered_frac;
+};
+
+Row run(const Scenario& scenario, NetworkTopology* topo, double per_hop_loss,
+        std::size_t slots, bool kill_relays, std::size_t trials) {
+  RunningStats err;
+  RunningStats fp;
+  RunningStats fn;
+  std::size_t delivered = 0;
+  std::size_t sent = 0;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+    MultiSourceLocalizer loc(scenario.env, scenario.sensors, LocalizerConfig{}, 100 + trial);
+    NetworkTopology local_topo = *topo;  // fresh routes per trial
+    MultiHopDelivery delivery(local_topo, per_hop_loss, slots);
+    Rng noise(200 + trial);
+    Rng net(300 + trial);
+
+    for (int step = 0; step < 25; ++step) {
+      if (kill_relays && step == 10) {
+        // Two central relays die mid-run.
+        local_topo.kill(14);
+        local_topo.kill(21);
+      }
+      auto batch = sim.sample_time_step(noise);
+      sent += batch.size();
+      auto arrived = delivery.deliver(net, std::move(batch));
+      delivered += arrived.size();
+      loc.process_all(arrived);
+    }
+    const auto match = match_estimates(scenario.sources, loc.estimate());
+    err.add(match.mean_error());
+    fp.add(static_cast<double>(match.false_positives));
+    fn.add(static_cast<double>(match.false_negatives));
+  }
+  return Row{err.mean(), fp.mean(), fn.mean(),
+             static_cast<double>(delivered) / static_cast<double>(sent)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  const std::size_t trials = bench::trials(3);
+
+  auto scenario = make_scenario_a(20.0, 5.0, false);
+  // Base station at the south-west corner sensor; radio range links grid
+  // neighbors (pitch 20) and diagonals.
+  NetworkTopology topo(scenario.sensors, 30.0, /*base=*/0);
+
+  std::cout << "Multi-hop network robustness: two 20 uCi sources, 6x6 grid routed to a\n"
+            << "corner base station (max depth " << 10 << " hops), " << trials
+            << " trials.\n";
+  std::cout << "topology: " << topo.connected_count() << "/" << scenario.sensors.size()
+            << " sensors routed\n";
+
+  std::vector<std::vector<double>> rows;
+  struct Config {
+    const char* label;
+    double loss;
+    std::size_t slots;
+    bool kill;
+  };
+  const Config configs[] = {
+      {"instant network (reference)", 0.0, 64, false},
+      {"1 hop/step latency", 0.0, 1, false},
+      {"4 hops/step, 5% hop loss", 0.05, 4, false},
+      {"4 hops/step, 15% hop loss", 0.15, 4, false},
+      {"relay failure at step 10", 0.05, 4, true},
+  };
+  int idx = 0;
+  for (const auto& c : configs) {
+    const Row r = run(scenario, &topo, c.loss, c.slots, c.kill, trials);
+    std::cout << "  [" << idx << "] " << c.label << "\n";
+    rows.push_back({static_cast<double>(idx++), r.err, r.fp, r.fn, r.delivered_frac});
+  }
+
+  const std::vector<std::string> header{"config", "mean_err", "FP", "FN", "delivered"};
+  print_banner(std::cout, "final-step metrics by network condition");
+  print_table(std::cout, header, rows);
+  std::cout << "\nExpected shape: graceful degradation — accuracy holds while the\n"
+            << "delivered fraction falls; relay failures cost coverage, not stability.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension X7 — mobile search vs static network at equal measurement
+// budgets.
+//
+// A robot taking M position-chosen readings competes with a 6x6 static
+// grid consuming the same number of measurements (M / 36 time steps).
+// Reported: localization error of the best estimate, convergence rate, and
+// distance travelled — quantifying when a single mobile detector can
+// substitute for a deployed network (Ristic et al. [18]'s setting, run on
+// this paper's filter).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/common/math.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/search/mobile_searcher.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace {
+
+using namespace radloc;
+
+class SimOracle final : public MeasurementOracle {
+ public:
+  SimOracle(const MeasurementSimulator& sim, std::uint64_t seed) : sim_(&sim), rng_(seed) {}
+  double read_cpm(const Point2& at, const SensorResponse& response) override {
+    return sim_->sample_at(rng_, at, response);
+  }
+
+ private:
+  const MeasurementSimulator* sim_;
+  Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  const std::size_t trials = bench::trials(5);
+
+  Environment env(make_area(100, 100));
+  const std::vector<Source> truth{{{70, 65}, 50.0}};
+
+  std::cout << "Mobile search vs static 6x6 network at equal measurement budgets,\n"
+            << "one 50 uCi source, " << trials << " trials.\n";
+
+  std::vector<std::vector<double>> rows;
+  for (const std::size_t budget : {72u, 144u, 288u}) {
+    RunningStats robot_err, robot_conv, robot_dist, net_err;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      // Robot: `budget` readings along a self-chosen path.
+      {
+        MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, truth);
+        SimOracle oracle(sim, 700 + trial);
+        SearcherConfig cfg;
+        cfg.filter.num_particles = 2000;
+        cfg.max_steps = budget;
+        MobileSearcher searcher(env, cfg, Rng(710 + trial));
+        const auto result = searcher.search({10, 10}, oracle);
+        double best = 1e18;
+        for (const auto& e : result.estimates) {
+          best = std::min(best, distance(e.pos, truth[0].pos));
+        }
+        robot_err.add(best > 1e17 ? std::nan("") : best);
+        robot_conv.add(result.converged ? 1.0 : 0.0);
+        robot_dist.add(result.distance_travelled);
+      }
+      // Static network: budget/36 time steps of full sweeps.
+      {
+        auto sensors = place_grid(env.bounds(), 6, 6);
+        set_background(sensors, 5.0);
+        MeasurementSimulator sim(env, sensors, truth);
+        MultiSourceLocalizer loc(env, sensors, LocalizerConfig{}, 720 + trial);
+        Rng noise(730 + trial);
+        const std::size_t steps = std::max<std::size_t>(1, budget / sensors.size());
+        for (std::size_t t = 0; t < steps; ++t) loc.process_all(sim.sample_time_step(noise));
+        const auto match = match_estimates(truth, loc.estimate());
+        net_err.add(match.error[0] ? *match.error[0] : std::nan(""));
+      }
+    }
+    rows.push_back({static_cast<double>(budget), robot_err.mean(), robot_conv.mean(),
+                    robot_dist.mean(), net_err.mean()});
+  }
+
+  print_banner(std::cout, "error / robot convergence rate / distance vs static-network error");
+  const std::vector<std::string> header{"readings", "robot_err", "conv_rate", "distance",
+                                        "grid_err"};
+  print_table(std::cout, header, rows);
+  std::cout << "\nExpected shape: the static network wins at tiny budgets (it samples\n"
+            << "everywhere at once); the robot catches up once its budget allows the\n"
+            << "hunt to complete, using ONE detector instead of 36.\n";
+  return 0;
+}

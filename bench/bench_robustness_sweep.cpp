@@ -1,0 +1,70 @@
+// Extension X8 — robustness across randomized worlds.
+//
+// The paper evaluates fixed layouts; this sweep runs the localizer on many
+// RANDOM worlds (random source placement, strengths, and obstacle walls)
+// and reports the distribution of outcomes with bootstrap confidence
+// intervals — the release-readiness question "does it work on layouts
+// nobody tuned for?".
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/eval/stats.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+int main() {
+  using namespace radloc;
+  const std::size_t worlds = bench::env_size("RADLOC_WORLDS", 20);
+
+  std::cout << "Robustness sweep: " << worlds << " random worlds per row (random source\n"
+            << "positions, log-uniform 10-100 uCi strengths, random walls), 15 steps.\n";
+
+  std::vector<std::vector<double>> rows;
+  Rng master(0xD1CE);
+  for (const std::size_t k : {1u, 2u, 3u, 4u, 5u}) {
+    std::vector<double> errors;
+    std::vector<double> fn_counts;
+    std::vector<double> fp_counts;
+    std::size_t perfect = 0;
+
+    for (std::size_t w = 0; w < worlds; ++w) {
+      Rng world_rng = master.split();
+      RandomScenarioConfig cfg;
+      cfg.num_sources = k;
+      const Scenario scenario = make_random_scenario(world_rng, cfg);
+
+      MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+      MultiSourceLocalizer loc(scenario.env, scenario.sensors, LocalizerConfig{},
+                               master());
+      Rng noise = master.split();
+      for (int t = 0; t < 15; ++t) loc.process_all(sim.sample_time_step(noise));
+
+      const auto match = match_estimates(scenario.sources, loc.estimate());
+      if (match.false_negatives == 0 && match.false_positives == 0) ++perfect;
+      fn_counts.push_back(static_cast<double>(match.false_negatives));
+      fp_counts.push_back(static_cast<double>(match.false_positives));
+      if (match.false_negatives < k) errors.push_back(match.mean_error());
+    }
+
+    Rng boot(42);
+    const auto err_ci = errors.empty() ? ConfidenceInterval{}
+                                       : bootstrap_mean_ci(errors, boot);
+    const auto fn_ci = bootstrap_mean_ci(fn_counts, boot);
+    rows.push_back({static_cast<double>(k), err_ci.point, err_ci.lo, err_ci.hi, fn_ci.point,
+                    bootstrap_mean_ci(fp_counts, boot).point,
+                    static_cast<double>(perfect) / static_cast<double>(worlds)});
+  }
+
+  print_banner(std::cout, "outcomes by true source count (mean error with 95% bootstrap CI)");
+  const std::vector<std::string> header{"K",       "err",     "err_lo", "err_hi",
+                                        "FN_mean", "FP_mean", "perfect"};
+  print_table(std::cout, header, rows);
+  std::cout << "\nExpected shape: error flat in K (the constant-parameter-space claim);\n"
+            << "FN grows mildly with K (weak sources in crowded worlds); most worlds\n"
+            << "localize every source with no false alarms.\n";
+  return 0;
+}

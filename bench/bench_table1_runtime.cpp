@@ -1,0 +1,69 @@
+// Table I — average execution time of the algorithm per iteration, for
+// NP in {2000, 5000, 15000} x N in {36, 196} x worker threads {1, 2, 4}.
+//
+// One "iteration" = processing one sensor measurement; mean-shift
+// estimation runs once per time step (N iterations) and its cost is
+// amortized over the step, matching the paper's measurement. The paper's
+// absolute numbers came from 4-core/24-core Xeons; the shape to reproduce
+// is (i) growth with NP, (ii) near-insensitivity to N, (iii) speedup with
+// threads (on multi-core hosts; this container may expose a single CPU).
+#include <benchmark/benchmark.h>
+
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace {
+
+using namespace radloc;
+
+void BM_Iteration(benchmark::State& state) {
+  const auto particles = static_cast<std::size_t>(state.range(0));
+  const bool large = state.range(1) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(2));
+
+  const Scenario scenario = large ? make_scenario_b() : make_scenario_a(10.0, 5.0, false);
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = particles;
+  cfg.filter.fusion_range = scenario.recommended_fusion_range;
+  cfg.num_threads = threads;
+  MultiSourceLocalizer loc(scenario.env, scenario.sensors, cfg, 11);
+  MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+  Rng noise(12);
+
+  // Warm up 3 time steps so particles reach their typical clustered state
+  // (the paper notes early iterations are slower).
+  for (int t = 0; t < 3; ++t) {
+    loc.process_all(sim.sample_time_step(noise));
+    (void)loc.estimate();
+  }
+
+  const auto n = static_cast<double>(scenario.sensors.size());
+  for (auto _ : state) {
+    const auto batch = sim.sample_time_step(noise);
+    loc.process_all(batch);
+    benchmark::DoNotOptimize(loc.estimate());
+  }
+  // Report per-iteration (per-measurement) time like the paper's Table I.
+  state.counters["sec_per_iteration"] =
+      benchmark::Counter(n * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Iteration)
+    ->ArgNames({"particles", "largeN", "threads"})
+    ->Args({2000, 0, 1})
+    ->Args({2000, 1, 1})
+    ->Args({5000, 0, 1})
+    ->Args({5000, 1, 1})
+    ->Args({15000, 0, 1})
+    ->Args({15000, 1, 1})
+    ->Args({15000, 0, 2})
+    ->Args({15000, 1, 2})
+    ->Args({15000, 0, 4})
+    ->Args({15000, 1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

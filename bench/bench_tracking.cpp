@@ -1,0 +1,97 @@
+// Extension X10 — tracking a moving source (the paper's F_movement hook).
+//
+// A source crosses the area at increasing speeds; the filter runs with a
+// random-walk movement model matched (or mismatched) to the motion.
+// Reported: mean tracking error after warm-up and the fraction of steps
+// the source was tracked (estimate within the 40-unit gate).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radloc/common/math.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/report.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace {
+
+using namespace radloc;
+
+struct Outcome {
+  double mean_err;
+  double tracked_frac;
+};
+
+Outcome run(double speed_per_step, double model_sigma, std::size_t trials) {
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+
+  RunningStats err;
+  RunningStats tracked;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    LocalizerConfig cfg;
+    cfg.filter.num_particles = 3000;
+    MultiSourceLocalizer loc(env, sensors, cfg, 840 + trial);
+    if (model_sigma > 0.0) {
+      loc.filter().set_movement_model(std::make_unique<RandomWalkMovement>(model_sigma));
+    }
+    Rng noise(850 + trial);
+
+    constexpr int steps = 25;
+    for (int t = 0; t < steps; ++t) {
+      // Diagonal transit scaled to the requested speed.
+      const double progress = speed_per_step * t;
+      const Source truth{{15.0 + progress * 0.8, 20.0 + progress * 0.6}, 60.0};
+      if (!env.bounds().contains(truth.pos)) break;
+      MeasurementSimulator sim(env, sensors, {truth});
+      loc.process_all(sim.sample_time_step(noise));
+      if (t < 6) continue;  // warm-up
+
+      double best = std::nan("");
+      for (const auto& e : loc.estimate()) {
+        const double d = distance(e.pos, truth.pos);
+        if (std::isnan(best) || d < best) best = d;
+      }
+      if (!std::isnan(best) && best <= 40.0) {
+        err.add(best);
+        tracked.add(1.0);
+      } else {
+        tracked.add(0.0);
+      }
+    }
+  }
+  return Outcome{err.mean(), tracked.mean()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  const std::size_t trials = bench::trials(3);
+
+  std::cout << "Moving-source tracking: a 60 uCi source transits diagonally; the\n"
+            << "movement model is the per-iteration random-walk sigma. " << trials
+            << " trials.\n";
+
+  std::vector<std::vector<double>> rows;
+  for (const double speed : {0.0, 1.0, 2.0, 4.0, 6.0}) {
+    const Outcome static_model = run(speed, 0.0, trials);
+    // Matched model: per-iteration sigma ~ speed / sqrt(N readings/step).
+    const Outcome walk_model = run(speed, std::max(0.3, speed / 4.0), trials);
+    rows.push_back({speed, static_model.mean_err, static_model.tracked_frac,
+                    walk_model.mean_err, walk_model.tracked_frac});
+  }
+
+  print_banner(std::cout, "error / tracked fraction: static model vs random-walk model");
+  const std::vector<std::string> header{"speed", "static_err", "static_trk", "walk_err",
+                                        "walk_trk"};
+  print_table(std::cout, header, rows);
+  std::cout << "\nFinding: the resampling jitter (sigma_N = 3 per touched particle) already\n"
+            << "acts as an implicit random-walk model, so the static filter tracks\n"
+            << "moderate speeds; an explicit movement model mainly buys headroom at\n"
+            << "higher speeds and lets sigma_N stay tuned for accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench runs argument-free. Trial counts default to values sized for
+// a small CI machine; set RADLOC_TRIALS (and RADLOC_WORLDS for the
+// robustness sweep) to grow them toward the paper's averaging (10 trials).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace radloc::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::size_t trials(std::size_t fallback = 5) { return env_size("RADLOC_TRIALS", fallback); }
+
+}  // namespace radloc::bench

@@ -1,0 +1,62 @@
+// Coordinated-attack drill: the paper's motivating scenario.
+//
+// Four radiological dispersal devices of very different strengths are
+// hidden across a 260x260 urban district monitored by a 14x14 sensor grid.
+// A fifth device is driven into the area mid-drill (the "new source enters
+// the area" case of Sec. V-E). The operator watches detections appear,
+// strengthen, and localize in real time.
+#include <iomanip>
+#include <iostream>
+
+#include "radloc/radloc.hpp"
+
+int main() {
+  using namespace radloc;
+
+  Environment env(make_area(260.0, 260.0));
+  auto sensors = place_grid(env.bounds(), 14, 14);
+  set_background(sensors, 5.0);
+
+  std::vector<Source> devices{
+      {{40.0, 200.0}, 120.0},  // truck bomb in the north-west
+      {{210.0, 220.0}, 15.0},  // weak device on a rooftop
+      {{130.0, 60.0}, 60.0},   // mid-strength device downtown
+      {{230.0, 40.0}, 35.0},   // device near the south-east exit
+  };
+  const Source latecomer{{70.0, 70.0}, 80.0};  // arrives at step 12
+
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 15000;  // paper: proportional to area
+  MultiSourceLocalizer localizer(env, sensors, cfg, /*seed=*/7);
+  Rng noise(8);
+
+  std::cout << "Dirty-bomb drill: 4 hidden devices, a 5th arrives at step 12.\n"
+            << "truth: (40,200)x120  (210,220)x15  (130,60)x60  (230,40)x35, then "
+               "(70,70)x80\n\n";
+
+  for (int step = 1; step <= 24; ++step) {
+    if (step == 12) {
+      devices.push_back(latecomer);
+      std::cout << ">>> step 12: a new device enters the area at (70,70)\n";
+    }
+    // Rebuild the simulator when ground truth changes.
+    MeasurementSimulator simulator(env, sensors, devices);
+    localizer.process_all(simulator.sample_time_step(noise));
+
+    const auto estimates = localizer.estimate();
+    std::cout << "step " << std::setw(2) << step << ": " << estimates.size()
+              << " device(s) detected";
+    for (const auto& e : estimates) {
+      std::cout << "  (" << std::setprecision(3) << e.pos.x << "," << e.pos.y << ")~"
+                << std::setprecision(2) << e.strength << "uCi";
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nFinal report:\n";
+  for (const auto& e : localizer.estimate()) {
+    std::cout << "  device at (" << e.pos.x << ", " << e.pos.y << "), strength "
+              << e.strength << " uCi, support " << e.support << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Energy-constrained monitoring: poll only a handful of sensors per round.
+//
+// Battery-powered sensors cannot all report every round. The adaptive
+// planner ranks sensors by how much their next reading would tell the
+// current posterior, concentrating the energy budget where the uncertainty
+// is. This example compares adaptive polling against a fixed round-robin
+// schedule at the same budget.
+#include <iostream>
+
+#include "radloc/radloc.hpp"
+
+namespace {
+
+using namespace radloc;
+
+struct Outcome {
+  double mean_error;
+  std::size_t false_negatives;
+  std::size_t estimates;
+};
+
+Outcome run(bool adaptive, const Environment& env, const std::vector<Sensor>& sensors,
+            const std::vector<Source>& truth, std::size_t budget) {
+  MeasurementSimulator simulator(env, sensors, truth);
+  MultiSourceLocalizer localizer(env, sensors, LocalizerConfig{}, /*seed=*/21);
+  AdaptiveSensingPlanner planner;
+  Rng noise(22);
+
+  std::size_t round_robin_cursor = 0;
+  for (int step = 0; step < 40; ++step) {
+    std::vector<SensorId> poll;
+    if (step < 2) {
+      // Both strategies bootstrap with one full sweep for initial coverage.
+      for (SensorId i = 0; i < sensors.size(); ++i) poll.push_back(i);
+    } else if (adaptive) {
+      poll = planner.select(localizer.filter(), budget);
+    } else {
+      for (std::size_t k = 0; k < budget; ++k) {
+        poll.push_back(static_cast<SensorId>(round_robin_cursor++ % sensors.size()));
+      }
+    }
+    for (const auto id : poll) localizer.process(simulator.sample(noise, id));
+  }
+
+  const auto estimates = localizer.estimate();
+  const auto match = match_estimates(truth, estimates);
+  return Outcome{match.mean_error(), match.false_negatives, estimates.size()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+
+  Environment env(make_area(100.0, 100.0));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+  const std::vector<Source> truth{{{47.0, 71.0}, 30.0}, {{81.0, 42.0}, 30.0}};
+
+  std::cout << "Two 30 uCi sources; 36 sensors; only `budget` report per round.\n\n";
+  std::cout << "budget  strategy     mean_err  false_neg  estimates\n";
+  for (const std::size_t budget : {4u, 8u, 16u}) {
+    for (const bool adaptive : {false, true}) {
+      const auto r = run(adaptive, env, sensors, truth, budget);
+      std::cout << "  " << budget << "     " << (adaptive ? "adaptive  " : "round-robin")
+                << "   " << r.mean_error << "      " << r.false_negatives << "        "
+                << r.estimates << "\n";
+    }
+  }
+  std::cout << "\nAdaptive polling concentrates the budget where the posterior is\n"
+               "uncertain; its advantage is largest when the budget is tightest.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Tracking a slowly moving source — the paper's F_movement hook (Sec. V-B).
+//
+// The paper assumes static sources (P'' = P'); the filter's movement-model
+// hook generalizes it. A source driven through the area in a vehicle is
+// tracked by giving the particles a random-walk prediction whose step size
+// matches the expected source speed.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "radloc/radloc.hpp"
+
+int main() {
+  using namespace radloc;
+
+  Environment env(make_area(100.0, 100.0));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 3000;
+  MultiSourceLocalizer localizer(env, sensors, cfg, /*seed=*/31);
+  // Predict step: particles random-walk ~1.5 units per iteration, matching
+  // a source moving a few units per time step.
+  localizer.filter().set_movement_model(std::make_unique<RandomWalkMovement>(1.5));
+
+  Rng noise(32);
+  std::cout << "A 60 uCi source drives from (15,20) toward (85,80); the filter\n"
+               "tracks it with a random-walk movement model.\n\n";
+  std::cout << "step   true position      estimate           error\n";
+
+  double worst_late_error = 0.0;
+  for (int step = 0; step < 25; ++step) {
+    const double t = step / 24.0;
+    const Source truth{{15.0 + 70.0 * t, 20.0 + 60.0 * t}, 60.0};
+
+    MeasurementSimulator simulator(env, sensors, {truth});
+    localizer.process_all(simulator.sample_time_step(noise));
+
+    const auto estimates = localizer.estimate();
+    double err = std::nan("");
+    Point2 best{};
+    for (const auto& e : estimates) {
+      const double d = distance(e.pos, truth.pos);
+      if (std::isnan(err) || d < err) {
+        err = d;
+        best = e.pos;
+      }
+    }
+    std::cout << std::fixed << std::setprecision(1) << std::setw(3) << step << "    ("
+              << std::setw(4) << truth.pos.x << ", " << std::setw(4) << truth.pos.y << ")";
+    if (std::isnan(err)) {
+      std::cout << "      (no estimate yet)\n";
+    } else {
+      std::cout << "      (" << std::setw(4) << best.x << ", " << std::setw(4) << best.y
+                << ")      " << err << "\n";
+      if (step >= 8) worst_late_error = std::max(worst_late_error, err);
+    }
+  }
+  std::cout << "\nworst tracking error after warm-up: " << worst_late_error << " units\n";
+  return 0;
+}

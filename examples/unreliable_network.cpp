@@ -1,0 +1,61 @@
+// Robustness to real sensor networks: out-of-order delivery, message loss,
+// multi-hop latency, and dead sensors (paper Sec. V bullet 1, Scenario C).
+//
+// The same two-source scene is localized under increasingly hostile network
+// conditions; the localizer's design — one unordered measurement per
+// iteration — keeps it working through all of them.
+#include <iostream>
+#include <memory>
+
+#include "radloc/radloc.hpp"
+
+namespace {
+
+using namespace radloc;
+
+void run(const char* label, std::unique_ptr<DeliveryModel> delivery,
+         const std::vector<SensorId>& dead_sensors) {
+  Environment env(make_area(100.0, 100.0));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+  const std::vector<Source> truth{{{47.0, 71.0}, 20.0}, {{81.0, 42.0}, 20.0}};
+
+  MeasurementSimulator simulator(env, sensors, truth);
+  for (const auto id : dead_sensors) simulator.kill_sensor(id);
+
+  MultiSourceLocalizer localizer(env, sensors, LocalizerConfig{}, /*seed=*/5);
+  Rng noise(6);
+  Rng net(7);
+
+  std::size_t delivered = 0;
+  for (int step = 0; step < 20; ++step) {
+    auto arrived = delivery->deliver(net, simulator.sample_time_step(noise));
+    delivered += arrived.size();
+    localizer.process_all(arrived);
+  }
+
+  const auto match = match_estimates(truth, localizer.estimate());
+  std::cout << label << ": " << delivered << " measurements delivered, mean error "
+            << match.mean_error() << ", FP " << match.false_positives << ", FN "
+            << match.false_negatives << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+  std::cout << "Two 20 uCi sources, 20 time steps, increasingly hostile networks:\n\n";
+
+  run("perfect in-order delivery     ", std::make_unique<InOrderDelivery>(), {});
+  run("out-of-order (shuffled)       ", std::make_unique<ShuffledDelivery>(), {});
+  run("25% message loss + shuffled   ",
+      std::make_unique<LossyDelivery>(0.25, std::make_unique<ShuffledDelivery>()), {});
+  run("multi-hop latency (mean 2 st.)", std::make_unique<RandomLatencyDelivery>(2.0), {});
+  run("loss + latency + 4 dead nodes ",
+      std::make_unique<LossyDelivery>(0.25, std::make_unique<RandomLatencyDelivery>(2.0)),
+      {0, 7, 21, 35});
+
+  std::cout << "\nThe algorithm never waits for a complete round and assumes no\n"
+               "ordering, so degradation is graceful in every condition.\n";
+  return 0;
+}

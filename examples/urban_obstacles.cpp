@@ -1,0 +1,74 @@
+// Obstacles in the surveillance area: the paper's headline claim is that
+// the localizer needs NO obstacle knowledge, and that shielding often
+// IMPROVES accuracy by isolating source signatures.
+//
+// This example builds a courtyard scene with a concrete building and a lead
+// storage cell, compares localization with and without the obstacles (same
+// sources, same sensors, same localizer settings), and prints the material
+// table used to construct them.
+#include <iostream>
+
+#include "radloc/radloc.hpp"
+
+namespace {
+
+using namespace radloc;
+
+double run_scene(const Environment& env, const std::vector<Sensor>& sensors,
+                 const std::vector<Source>& truth, const char* label) {
+  MeasurementSimulator simulator(env, sensors, truth);
+  MultiSourceLocalizer localizer(env, sensors, LocalizerConfig{}, /*seed=*/3);
+  Rng noise(4);
+  for (int step = 0; step < 15; ++step) {
+    localizer.process_all(simulator.sample_time_step(noise));
+  }
+  const auto estimates = localizer.estimate();
+  const auto match = match_estimates(truth, estimates);
+  std::cout << label << ": " << estimates.size() << " estimates, mean error "
+            << match.mean_error() << ", FP " << match.false_positives << ", FN "
+            << match.false_negatives << "\n";
+  return match.mean_error();
+}
+
+}  // namespace
+
+int main() {
+  using namespace radloc;
+
+  std::cout << "Shielding materials (1 MeV gamma):\n";
+  for (const auto m : {Material::kLead, Material::kSteel, Material::kConcrete,
+                       Material::kBrick, Material::kWood}) {
+    std::cout << "  " << material_name(m) << ": mu = " << attenuation_coefficient(m)
+              << " /cm, half-value layer = " << half_value_layer(m) << " cm\n";
+  }
+  std::cout << "1 cm of lead equals " << equivalent_thickness(Material::kLead, 1.0,
+                                                              Material::kConcrete)
+            << " cm of concrete (paper Sec. III).\n\n";
+
+  // The courtyard: a concrete building between the two sources and a lead
+  // cell shielding the south. NOTE: these obstacles exist in the *world*
+  // (the simulator); the localizer is never told about them.
+  const AreaBounds area = make_area(100.0, 100.0);
+  std::vector<Obstacle> obstacles;
+  obstacles.emplace_back(make_rect(45.0, 30.0, 55.0, 80.0), Material::kConcrete);
+  obstacles.emplace_back(make_rect(20.0, 15.0, 30.0, 20.0), Material::kLead);
+
+  Environment walled(area, obstacles);
+  Environment open(area);
+
+  auto sensors = place_grid(area, 6, 6);
+  set_background(sensors, 5.0);
+  const std::vector<Source> truth{{{30.0, 55.0}, 20.0}, {{70.0, 55.0}, 20.0}};
+
+  std::cout << "Two 20 uCi sources at (30,55) and (70,55), concrete wall between them.\n";
+  const double err_open = run_scene(open, sensors, truth, "open space      ");
+  const double err_wall = run_scene(walled, sensors, truth, "with obstacles  ");
+
+  std::cout << "\nnormalized error (open/walled): " << err_open / err_wall
+            << (err_open / err_wall > 1.0
+                    ? "  -> the wall isolates the sources and helps localization\n"
+                    : "  -> the wall did not help in this run\n");
+  std::cout << "The localizer used the free-space model in BOTH runs: no obstacle\n"
+               "knowledge was required.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "radloc/adaptive/planner.hpp"
+
+#include <algorithm>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+std::vector<SensorScore> AdaptiveSensingPlanner::score_sensors(
+    const FusionParticleFilter& filter) const {
+  const auto positions = filter.positions();
+  const auto strengths = filter.strengths();
+  const auto weights = filter.weights();
+  const auto sensors = filter.sensors();
+  const double fusion_range = filter.config().fusion_range;
+  const bool obstacles = filter.config().use_known_obstacles;
+  const Environment& env = filter.environment();
+
+  const std::size_t stride =
+      std::max<std::size_t>(1, positions.size() / cfg_.max_particles_evaluated);
+
+  std::vector<SensorScore> scores;
+  scores.reserve(sensors.size());
+  for (const Sensor& s : sensors) {
+    // Weighted mean/variance of the predicted rate over the particles this
+    // sensor can actually influence (its fusion disk).
+    double w_total = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    for (std::size_t i = 0; i < positions.size(); i += stride) {
+      if (distance(positions[i], s.pos) > fusion_range) continue;
+      const double w = weights[i];
+      if (w <= 0.0) continue;
+      const Source hyp{positions[i], strengths[i]};
+      const double rate = obstacles
+                              ? expected_cpm_single(s.pos, hyp, env, s.response)
+                              : expected_cpm_single_free_space(s.pos, hyp, s.response);
+      // West's incremental weighted variance.
+      w_total += w;
+      const double delta = rate - mean;
+      mean += (w / w_total) * delta;
+      m2 += w * delta * (rate - mean);
+    }
+    SensorScore sc;
+    sc.sensor = s.id;
+    if (w_total > 0.0) {
+      const double variance = m2 / w_total;
+      sc.predicted_cpm = mean;
+      sc.score = variance / (1.0 + mean);
+    }
+    scores.push_back(sc);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const SensorScore& a, const SensorScore& b) { return a.score > b.score; });
+  return scores;
+}
+
+std::vector<SensorId> AdaptiveSensingPlanner::select(const FusionParticleFilter& filter,
+                                                     std::size_t budget) const {
+  const auto scores = score_sensors(filter);
+  std::vector<SensorId> out;
+  out.reserve(std::min(budget, scores.size()));
+  for (std::size_t i = 0; i < scores.size() && out.size() < budget; ++i) {
+    out.push_back(scores[i].sensor);
+  }
+  return out;
+}
+
+}  // namespace radloc

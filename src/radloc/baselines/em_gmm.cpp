@@ -1,0 +1,177 @@
+#include "radloc/baselines/em_gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+EmGmmLocalizer::EmGmmLocalizer(const Environment& env, std::vector<Sensor> sensors, EmConfig cfg)
+    : env_(&env), sensors_(std::move(sensors)), cfg_(cfg) {
+  require(!sensors_.empty(), "EM baseline needs sensors");
+  require(cfg_.max_components >= 1, "need at least one component");
+  require(cfg_.restarts >= 1, "need at least one restart");
+  require(cfg_.min_variance > 0.0, "variance floor must be positive");
+}
+
+namespace {
+
+double gauss2(const Point2& x, const Point2& mu, double var) {
+  return std::exp(-0.5 * distance2(x, mu) / var) / (2.0 * kPi * var);
+}
+
+}  // namespace
+
+EmFit EmGmmLocalizer::em_once(std::span<const double> excess, std::size_t k, Rng& rng) const {
+  const std::size_t n = sensors_.size();
+  const double total_excess =
+      std::max(std::accumulate(excess.begin(), excess.end(), 0.0), 1e-9);
+
+  // Init: means at excess-weighted random sensors, broad variance.
+  std::vector<GmmComponent> comps(k);
+  for (auto& c : comps) {
+    // Sample a sensor proportional to excess.
+    double target = uniform01(rng) * total_excess;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= excess[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    c.mean = sensors_[pick].pos + Vec2{normal(rng, 0, 3.0), normal(rng, 0, 3.0)};
+    c.variance = square(0.2 * env_->bounds().width());
+    c.weight = 1.0 / static_cast<double>(k);
+  }
+
+  std::vector<double> resp(n * k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  double ll = prev_ll;
+  for (std::size_t iter = 0; iter < cfg_.max_iterations; ++iter) {
+    // E-step over the weighted sample (sensor positions, weights = excess).
+    ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double mix = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        resp[i * k + j] = comps[j].weight * gauss2(sensors_[i].pos, comps[j].mean,
+                                                   comps[j].variance);
+        mix += resp[i * k + j];
+      }
+      if (mix <= 0.0) {
+        for (std::size_t j = 0; j < k; ++j) resp[i * k + j] = 1.0 / static_cast<double>(k);
+        mix = 1e-300;
+      } else {
+        for (std::size_t j = 0; j < k; ++j) resp[i * k + j] /= mix;
+      }
+      ll += excess[i] * std::log(mix);
+    }
+
+    // M-step (weighted).
+    for (std::size_t j = 0; j < k; ++j) {
+      double wsum = 0.0;
+      Point2 mean{0.0, 0.0};
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = excess[i] * resp[i * k + j];
+        wsum += w;
+        mean += w * sensors_[i].pos;
+      }
+      if (wsum <= 1e-12) {
+        comps[j].weight = 1e-6;  // starved component
+        continue;
+      }
+      mean = (1.0 / wsum) * mean;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        var += excess[i] * resp[i * k + j] * distance2(sensors_[i].pos, mean);
+      }
+      comps[j].mean = mean;
+      comps[j].variance = std::max(var / (2.0 * wsum), cfg_.min_variance);
+      comps[j].weight = wsum / total_excess;
+    }
+
+    if (ll - prev_ll < cfg_.tolerance && iter > 2) break;
+    prev_ll = ll;
+  }
+
+  EmFit fit;
+  fit.components = comps;
+  fit.selected_k = k;
+  fit.log_likelihood = ll;
+
+  // Source estimates: component means; strengths re-fit against the
+  // physical model (the GMM itself has no strength notion): for component
+  // j, s_j = (responsibility-weighted excess) / (responsibility-weighted
+  // unit-source response).
+  for (std::size_t j = 0; j < k; ++j) {
+    if (comps[j].weight < 1e-3) continue;  // starved
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = resp[i * k + j];
+      const double unit = kMicroCurieToCpm * sensors_[i].response.efficiency *
+                          free_space_intensity(sensors_[i].pos, Source{comps[j].mean, 1.0});
+      num += r * excess[i];
+      den += r * unit;
+    }
+    const double strength = den > 0.0 ? num / den : 0.0;
+    fit.sources.push_back(SourceEstimate{comps[j].mean, strength, comps[j].weight});
+  }
+  std::sort(fit.sources.begin(), fit.sources.end(),
+            [](const SourceEstimate& a, const SourceEstimate& b) {
+              return a.support > b.support;
+            });
+  return fit;
+}
+
+EmFit EmGmmLocalizer::fit_fixed_k(std::span<const double> avg_cpm, std::size_t k,
+                                  Rng& rng) const {
+  require(avg_cpm.size() == sensors_.size(), "need one average reading per sensor");
+  require(k >= 1, "k must be >= 1");
+
+  std::vector<double> excess(sensors_.size());
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    excess[i] = std::max(avg_cpm[i] - sensors_[i].response.background_cpm, 0.0);
+  }
+
+  EmFit best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < cfg_.restarts; ++r) {
+    EmFit fit = em_once(excess, k, rng);
+    if (fit.log_likelihood > best.log_likelihood) best = std::move(fit);
+  }
+  return best;
+}
+
+EmFit EmGmmLocalizer::fit(std::span<const double> avg_cpm, Rng& rng) const {
+  require(avg_cpm.size() == sensors_.size(), "need one average reading per sensor");
+
+  // Effective sample size for the BIC penalty: total excess counts.
+  double total_excess = 0.0;
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    total_excess += std::max(avg_cpm[i] - sensors_[i].response.background_cpm, 0.0);
+  }
+  const double n_eff = std::max(total_excess, 2.0);
+
+  EmFit best;
+  double best_criterion = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= cfg_.max_components; ++k) {
+    EmFit fit = fit_fixed_k(avg_cpm, k, rng);
+    const double params = 4.0 * static_cast<double>(k) - 1.0;  // mean(2)+var+weight per comp
+    fit.criterion_value = cfg_.criterion == ModelSelection::kAic
+                              ? 2.0 * params - 2.0 * fit.log_likelihood
+                              : params * std::log(n_eff) - 2.0 * fit.log_likelihood;
+    if (fit.criterion_value < best_criterion) {
+      best_criterion = fit.criterion_value;
+      best = std::move(fit);
+    }
+  }
+  return best;
+}
+
+}  // namespace radloc

@@ -1,0 +1,151 @@
+#include "radloc/baselines/grid_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+GridSolver::GridSolver(const Environment& env, std::vector<Sensor> sensors, GridSolverConfig cfg)
+    : env_(&env), sensors_(std::move(sensors)), cfg_(cfg) {
+  require(!sensors_.empty(), "grid solver needs sensors");
+  require(cfg_.cells_x >= 2 && cfg_.cells_y >= 2, "grid solver needs at least 2x2 cells");
+
+  // Design matrix: reading contribution of a unit (1 uCi) source at each
+  // cell center to each sensor, free-space model (the baseline, like the
+  // localizer, does not know the obstacles).
+  const std::size_t nc = num_cells();
+  design_.assign(sensors_.size() * nc, 0.0);
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const Sensor& s = sensors_[i];
+    for (std::size_t c = 0; c < nc; ++c) {
+      const Source unit{cell_center(c), 1.0};
+      design_[i * nc + c] =
+          kMicroCurieToCpm * s.response.efficiency * free_space_intensity(s.pos, unit);
+    }
+  }
+  col_norm2_.assign(nc, 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t i = 0; i < sensors_.size(); ++i) {
+      col_norm2_[c] += square(design_[i * nc + c]);
+    }
+  }
+}
+
+Point2 GridSolver::cell_center(std::size_t cell) const {
+  const AreaBounds& b = env_->bounds();
+  const std::size_t cx = cell % cfg_.cells_x;
+  const std::size_t cy = cell / cfg_.cells_x;
+  const double w = b.width() / static_cast<double>(cfg_.cells_x);
+  const double h = b.height() / static_cast<double>(cfg_.cells_y);
+  return Point2{b.min.x + (static_cast<double>(cx) + 0.5) * w,
+                b.min.y + (static_cast<double>(cy) + 0.5) * h};
+}
+
+GridFit GridSolver::fit(std::span<const double> avg_cpm) const {
+  require(avg_cpm.size() == sensors_.size(), "need one average reading per sensor");
+  const std::size_t nc = num_cells();
+  const std::size_t ns = sensors_.size();
+
+  // Background-corrected targets.
+  std::vector<double> residual(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    residual[i] = avg_cpm[i] - sensors_[i].response.background_cpm;
+  }
+
+  // Projected coordinate descent on 0.5*||r||^2 + l1 * sum(x), x >= 0.
+  std::vector<double> x(nc, 0.0);
+  std::size_t sweeps = 0;
+  for (; sweeps < cfg_.max_sweeps; ++sweeps) {
+    double max_update = 0.0;
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (col_norm2_[c] <= 0.0) continue;
+      double grad = 0.0;
+      for (std::size_t i = 0; i < ns; ++i) grad += design_[i * nc + c] * residual[i];
+      // Closed-form coordinate minimizer with non-negativity projection.
+      const double new_x =
+          std::max(0.0, x[c] + (grad - cfg_.l1_penalty) / col_norm2_[c]);
+      const double delta = new_x - x[c];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < ns; ++i) residual[i] -= delta * design_[i * nc + c];
+        x[c] = new_x;
+        max_update = std::max(max_update, std::abs(delta));
+      }
+    }
+    if (max_update < cfg_.tolerance) break;
+  }
+
+  GridFit fit;
+  fit.cell_strengths = x;
+  fit.sweeps_used = sweeps;
+  for (const double r : residual) fit.residual += square(r);
+
+  // Report local maxima above the detection threshold as sources.
+  const auto idx = [&](std::size_t cx, std::size_t cy) { return cy * cfg_.cells_x + cx; };
+  for (std::size_t cy = 0; cy < cfg_.cells_y; ++cy) {
+    for (std::size_t cx = 0; cx < cfg_.cells_x; ++cx) {
+      const double v = x[idx(cx, cy)];
+      if (v < cfg_.detect_threshold) continue;
+      bool is_peak = true;
+      for (int dy = -1; dy <= 1 && is_peak; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const auto nx = static_cast<std::ptrdiff_t>(cx) + dx;
+          const auto ny = static_cast<std::ptrdiff_t>(cy) + dy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(cfg_.cells_x) ||
+              ny >= static_cast<std::ptrdiff_t>(cfg_.cells_y)) {
+            continue;
+          }
+          if (x[idx(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny))] > v) {
+            is_peak = false;
+            break;
+          }
+        }
+      }
+      if (is_peak) {
+        // The solver smears one point source over adjacent cells: the 3x3
+        // neighborhood mass approximates the strength, and its center of
+        // mass refines the position below the cell pitch.
+        double mass = 0.0;
+        Point2 centroid{0.0, 0.0};
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const auto nx = static_cast<std::ptrdiff_t>(cx) + dx;
+            const auto ny = static_cast<std::ptrdiff_t>(cy) + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(cfg_.cells_x) ||
+                ny >= static_cast<std::ptrdiff_t>(cfg_.cells_y)) {
+              continue;
+            }
+            const std::size_t cell = idx(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny));
+            mass += x[cell];
+            centroid += x[cell] * cell_center(cell);
+          }
+        }
+        fit.sources.push_back(SourceEstimate{(1.0 / mass) * centroid, mass, v});
+      }
+    }
+  }
+  std::sort(fit.sources.begin(), fit.sources.end(),
+            [](const SourceEstimate& a, const SourceEstimate& b) {
+              return a.strength > b.strength;
+            });
+  return fit;
+}
+
+GridFit GridSolver::fit_measurements(std::span<const Measurement> measurements) const {
+  std::vector<double> sum(sensors_.size(), 0.0);
+  std::vector<std::size_t> count(sensors_.size(), 0);
+  for (const auto& m : measurements) {
+    require(m.sensor < sensors_.size(), "measurement from unknown sensor");
+    sum[m.sensor] += m.cpm;
+    ++count[m.sensor];
+  }
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    if (count[i] > 0) sum[i] /= static_cast<double>(count[i]);
+  }
+  return fit(sum);
+}
+
+}  // namespace radloc

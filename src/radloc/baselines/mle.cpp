@@ -1,0 +1,130 @@
+#include "radloc/baselines/mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+MleLocalizer::MleLocalizer(const Environment& env, std::vector<Sensor> sensors, MleConfig cfg)
+    : env_(&env), sensors_(std::move(sensors)), cfg_(cfg) {
+  require(!sensors_.empty(), "MLE baseline needs sensors");
+  require(cfg_.max_sources > 0, "max_sources must be >= 1");
+  require(cfg_.restarts > 0, "need at least one restart");
+}
+
+double MleLocalizer::negative_log_likelihood(std::span<const Measurement> measurements,
+                                             std::span<const Source> sources) const {
+  double nll = 0.0;
+  Environment free_space = env_->without_obstacles();
+  const Environment& model_env = cfg_.use_known_obstacles ? *env_ : free_space;
+  for (const auto& m : measurements) {
+    const Sensor& s = sensors_[m.sensor];
+    const double rate = expected_cpm(s.pos, sources, model_env, s.response);
+    nll -= poisson_log_pmf(m.cpm, rate);
+  }
+  return nll;
+}
+
+namespace {
+
+/// Parameter vector layout: [x_0, y_0, log_s_0, x_1, ...].
+std::vector<Source> unpack(const std::vector<double>& params) {
+  std::vector<Source> sources(params.size() / 3);
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    sources[j] = Source{{params[3 * j], params[3 * j + 1]}, std::exp(params[3 * j + 2])};
+  }
+  return sources;
+}
+
+}  // namespace
+
+MleFit MleLocalizer::optimize_k(std::span<const Measurement> measurements, std::size_t k,
+                                Rng& rng) const {
+  const AreaBounds& bounds = env_->bounds();
+  const double log_smin = std::log(cfg_.strength_min);
+  const double log_smax = std::log(cfg_.strength_max);
+
+  auto objective = [&](const std::vector<double>& params) {
+    // Soft box penalty keeps the simplex inside the physical domain.
+    double penalty = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double x = params[3 * j];
+      const double y = params[3 * j + 1];
+      const double ls = params[3 * j + 2];
+      if (x < bounds.min.x) penalty += square(bounds.min.x - x);
+      if (x > bounds.max.x) penalty += square(x - bounds.max.x);
+      if (y < bounds.min.y) penalty += square(bounds.min.y - y);
+      if (y > bounds.max.y) penalty += square(y - bounds.max.y);
+      if (ls < log_smin) penalty += 100.0 * square(log_smin - ls);
+      if (ls > log_smax) penalty += 100.0 * square(ls - log_smax);
+    }
+    return negative_log_likelihood(measurements, unpack(params)) + 1e3 * penalty;
+  };
+
+  NelderMeadResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  std::size_t evals = 0;
+  NelderMeadOptions opts = cfg_.optimizer;
+  opts.initial_step = 0.1 * std::min(bounds.width(), bounds.height());
+
+  for (std::size_t r = 0; r < cfg_.restarts; ++r) {
+    std::vector<double> x0;
+    x0.reserve(3 * k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const Point2 p = uniform_point(rng, bounds);
+      x0.push_back(p.x);
+      x0.push_back(p.y);
+      x0.push_back(uniform(rng, log_smin, log_smax));
+    }
+    auto res = nelder_mead(objective, std::move(x0), opts);
+    evals += res.evaluations;
+    if (res.value < best.value) best = std::move(res);
+  }
+
+  MleFit fit;
+  fit.selected_k = k;
+  fit.total_evaluations = evals;
+  const auto sources = unpack(best.x);
+  fit.nll = negative_log_likelihood(measurements, sources);
+  for (const auto& s : sources) {
+    fit.sources.push_back(SourceEstimate{s.pos, s.strength, 1.0 / static_cast<double>(k)});
+  }
+  return fit;
+}
+
+MleFit MleLocalizer::fit_fixed_k(std::span<const Measurement> measurements, std::size_t k,
+                                 Rng& rng) const {
+  require(k > 0, "k must be >= 1");
+  require(!measurements.empty(), "MLE fit needs measurements");
+  return optimize_k(measurements, k, rng);
+}
+
+MleFit MleLocalizer::fit(std::span<const Measurement> measurements, Rng& rng) const {
+  require(!measurements.empty(), "MLE fit needs measurements");
+  const double n = static_cast<double>(measurements.size());
+
+  MleFit best;
+  double best_criterion = std::numeric_limits<double>::infinity();
+  std::size_t total_evals = 0;
+  for (std::size_t k = 1; k <= cfg_.max_sources; ++k) {
+    MleFit fit = optimize_k(measurements, k, rng);
+    total_evals += fit.total_evaluations;
+    const double params = 3.0 * static_cast<double>(k);
+    fit.criterion_value = cfg_.criterion == ModelSelection::kAic
+                              ? 2.0 * params + 2.0 * fit.nll
+                              : params * std::log(n) + 2.0 * fit.nll;
+    if (fit.criterion_value < best_criterion) {
+      best_criterion = fit.criterion_value;
+      best = std::move(fit);
+    }
+  }
+  best.total_evaluations = total_evals;
+  return best;
+}
+
+}  // namespace radloc

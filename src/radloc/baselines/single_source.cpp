@@ -1,0 +1,110 @@
+#include "radloc/baselines/single_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/optim/nelder_mead.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+SingleSourceLocalizer::SingleSourceLocalizer(const Environment& env, std::vector<Sensor> sensors,
+                                             SingleSourceConfig cfg)
+    : env_(&env), sensors_(std::move(sensors)), cfg_(cfg) {
+  require(sensors_.size() >= 3, "single-source localizers need at least 3 sensors");
+}
+
+std::vector<double> SingleSourceLocalizer::average_per_sensor(
+    std::span<const Measurement> measurements) const {
+  std::vector<double> sum(sensors_.size(), 0.0);
+  std::vector<std::size_t> count(sensors_.size(), 0);
+  for (const auto& m : measurements) {
+    require(m.sensor < sensors_.size(), "measurement from unknown sensor");
+    sum[m.sensor] += m.cpm;
+    ++count[m.sensor];
+  }
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    if (count[i] > 0) sum[i] /= static_cast<double>(count[i]);
+  }
+  return sum;
+}
+
+SourceEstimate SingleSourceLocalizer::fit_subset(std::span<const double> avg_cpm,
+                                                 std::span<const std::size_t> subset, Rng& rng,
+                                                 std::size_t restarts) const {
+  const AreaBounds& bounds = env_->bounds();
+  const double log_smin = std::log(cfg_.strength_min);
+  const double log_smax = std::log(cfg_.strength_max);
+
+  auto objective = [&](const std::vector<double>& p) {
+    const Source hyp{{p[0], p[1]}, std::exp(std::clamp(p[2], log_smin - 3.0, log_smax + 3.0))};
+    double nll = 0.0;
+    for (const std::size_t i : subset) {
+      const Sensor& s = sensors_[i];
+      const double rate = expected_cpm_single_free_space(s.pos, hyp, s.response);
+      nll -= poisson_log_pmf(std::round(avg_cpm[i]), rate);
+    }
+    double penalty = 0.0;
+    if (p[0] < bounds.min.x) penalty += square(bounds.min.x - p[0]);
+    if (p[0] > bounds.max.x) penalty += square(p[0] - bounds.max.x);
+    if (p[1] < bounds.min.y) penalty += square(bounds.min.y - p[1]);
+    if (p[1] > bounds.max.y) penalty += square(p[1] - bounds.max.y);
+    return nll + 1e3 * penalty;
+  };
+
+  NelderMeadOptions opts;
+  opts.initial_step = 0.15 * std::min(bounds.width(), bounds.height());
+  opts.max_evaluations = 2000;
+
+  NelderMeadResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    const Point2 start = uniform_point(rng, bounds);
+    auto res = nelder_mead(objective, {start.x, start.y, uniform(rng, log_smin, log_smax)}, opts);
+    if (res.value < best.value) best = std::move(res);
+  }
+  return SourceEstimate{{best.x[0], best.x[1]}, std::exp(best.x[2]), 1.0};
+}
+
+SourceEstimate SingleSourceLocalizer::fit_ml(std::span<const double> avg_cpm, Rng& rng) const {
+  require(avg_cpm.size() == sensors_.size(), "need one average reading per sensor");
+  std::vector<std::size_t> all(sensors_.size());
+  std::iota(all.begin(), all.end(), 0u);
+  return fit_subset(avg_cpm, all, rng, cfg_.restarts);
+}
+
+SourceEstimate SingleSourceLocalizer::fit_moe(std::span<const double> avg_cpm, Rng& rng) const {
+  require(avg_cpm.size() == sensors_.size(), "need one average reading per sensor");
+
+  std::vector<double> xs, ys, ss;
+  for (std::size_t t = 0; t < cfg_.moe_triples; ++t) {
+    std::size_t tri[3];
+    tri[0] = static_cast<std::size_t>(uniform_index(rng, sensors_.size()));
+    do {
+      tri[1] = static_cast<std::size_t>(uniform_index(rng, sensors_.size()));
+    } while (tri[1] == tri[0]);
+    do {
+      tri[2] = static_cast<std::size_t>(uniform_index(rng, sensors_.size()));
+    } while (tri[2] == tri[0] || tri[2] == tri[1]);
+
+    const auto est = fit_subset(avg_cpm, tri, rng, 2);
+    xs.push_back(est.pos.x);
+    ys.push_back(est.pos.y);
+    ss.push_back(est.strength);
+  }
+
+  // Robust combine: coordinate-wise median (trims the bad triples whose
+  // three sensors barely see the source).
+  auto median = [](std::vector<double>& v) {
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    return *mid;
+  };
+  return SourceEstimate{{median(xs), median(ys)}, median(ss), 1.0};
+}
+
+}  // namespace radloc

@@ -1,0 +1,57 @@
+// Baselines: single-source localizers.
+//
+// (i)  Least-squares / ML fit of one source over the averaged readings
+//      (Howse et al. [11], Gunatilaka et al. [12] family).
+// (ii) Mean-of-estimators (MoE, Rao et al. [14]): localize with many random
+//      sensor triples independently, robustly combine the per-triple
+//      estimates. Each triple is solved with a small Nelder-Mead fit in
+//      log-measurement space (the practical stand-in for the geometric
+//      log-TDOA construction of [4], which needs the same three readings).
+//
+// Both are single-source by construction — the benches use them to show why
+// multi-source scenarios need the paper's approach.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+struct SingleSourceConfig {
+  double strength_min = 1.0;
+  double strength_max = 1000.0;
+  std::size_t restarts = 6;     ///< Nelder-Mead restarts (full LS fit)
+  std::size_t moe_triples = 40; ///< sensor triples sampled by MoE
+};
+
+class SingleSourceLocalizer {
+ public:
+  SingleSourceLocalizer(const Environment& env, std::vector<Sensor> sensors,
+                        SingleSourceConfig cfg = {});
+
+  /// Poisson-ML fit of a single source to per-sensor average readings.
+  [[nodiscard]] SourceEstimate fit_ml(std::span<const double> avg_cpm, Rng& rng) const;
+
+  /// Mean-of-estimators: median-combined per-triple fits.
+  [[nodiscard]] SourceEstimate fit_moe(std::span<const double> avg_cpm, Rng& rng) const;
+
+  /// Per-sensor averages from raw measurements (helper shared with benches).
+  [[nodiscard]] std::vector<double> average_per_sensor(
+      std::span<const Measurement> measurements) const;
+
+ private:
+  [[nodiscard]] SourceEstimate fit_subset(std::span<const double> avg_cpm,
+                                          std::span<const std::size_t> subset, Rng& rng,
+                                          std::size_t restarts) const;
+
+  const Environment* env_;
+  std::vector<Sensor> sensors_;
+  SingleSourceConfig cfg_;
+};
+
+}  // namespace radloc

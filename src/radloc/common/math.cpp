@@ -1,0 +1,33 @@
+#include "radloc/common/math.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "radloc/common/types.hpp"
+
+namespace radloc {
+
+double poisson_log_pmf(double k, double lambda) {
+  if (k < 0.0) return -std::numeric_limits<double>::infinity();
+  if (lambda <= 0.0) {
+    return k == 0.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  return k * std::log(lambda) - lambda - log_factorial(k);
+}
+
+double poisson_pmf(double k, double lambda) { return std::exp(poisson_log_pmf(k, lambda)); }
+
+double log_sum_exp(std::span<const double> v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (const double x : v) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point2& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace radloc

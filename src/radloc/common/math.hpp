@@ -1,0 +1,65 @@
+// Small numeric helpers used across radloc.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+namespace radloc {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+[[nodiscard]] constexpr double square(double v) { return v * v; }
+
+/// log(n!) via lgamma. Stable for the large CPM counts Eq. (4) produces.
+[[nodiscard]] inline double log_factorial(double n) { return std::lgamma(n + 1.0); }
+
+/// Log-PMF of a Poisson(lambda) distribution at integer count k (k passed as
+/// double because CPM counts can be large). Returns -inf for lambda <= 0 with
+/// k > 0, and 0 for lambda == 0, k == 0.
+[[nodiscard]] double poisson_log_pmf(double k, double lambda);
+
+/// PMF of Poisson(lambda) at k; exp of the above.
+[[nodiscard]] double poisson_pmf(double k, double lambda);
+
+/// Numerically stable log(sum(exp(v))) over a span.
+[[nodiscard]] double log_sum_exp(std::span<const double> v);
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double v) {
+    ++n_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Throws std::invalid_argument with `msg` when `cond` is false. Used to
+/// validate public-API preconditions (Core Guidelines I.5/I.10).
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace radloc

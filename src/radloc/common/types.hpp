@@ -1,0 +1,99 @@
+// Vocabulary value types shared by every radloc subsystem.
+//
+// All geometry in radloc is 2-D; the units follow the paper: positions in
+// length units (the paper's surveillance areas are 100x100 and 260x260),
+// strengths in micro-Curies, intensities in counts per minute (CPM).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace radloc {
+
+/// A 2-D point / vector. Plain aggregate: no invariant, so members are public
+/// (Core Guidelines C.2).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2&, const Point2&) = default;
+
+  constexpr Point2& operator+=(const Point2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point2& operator-=(const Point2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Point2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+};
+
+using Vec2 = Point2;
+
+[[nodiscard]] constexpr Point2 operator+(Point2 a, const Point2& b) { return a += b; }
+[[nodiscard]] constexpr Point2 operator-(Point2 a, const Point2& b) { return a -= b; }
+[[nodiscard]] constexpr Point2 operator*(Point2 a, double s) { return a *= s; }
+[[nodiscard]] constexpr Point2 operator*(double s, Point2 a) { return a *= s; }
+
+[[nodiscard]] constexpr double dot(const Vec2& a, const Vec2& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// 2-D cross product (z component of the 3-D cross product).
+[[nodiscard]] constexpr double cross(const Vec2& a, const Vec2& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+[[nodiscard]] constexpr double norm2(const Vec2& v) { return dot(v, v); }
+
+[[nodiscard]] inline double norm(const Vec2& v) { return std::sqrt(norm2(v)); }
+
+[[nodiscard]] constexpr double distance2(const Point2& a, const Point2& b) {
+  return norm2(a - b);
+}
+
+[[nodiscard]] inline double distance(const Point2& a, const Point2& b) {
+  return norm(a - b);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point2& p);
+
+/// Axis-aligned rectangular region. Used for surveillance-area bounds.
+struct AreaBounds {
+  Point2 min;
+  Point2 max;
+
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+
+  [[nodiscard]] constexpr bool contains(const Point2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Clamps `p` to the bounds (component-wise).
+  [[nodiscard]] constexpr Point2 clamp(Point2 p) const {
+    if (p.x < min.x) p.x = min.x;
+    if (p.x > max.x) p.x = max.x;
+    if (p.y < min.y) p.y = min.y;
+    if (p.y > max.y) p.y = max.y;
+    return p;
+  }
+
+  friend constexpr bool operator==(const AreaBounds&, const AreaBounds&) = default;
+};
+
+/// Convenience factory for the common [0,w] x [0,h] area.
+[[nodiscard]] constexpr AreaBounds make_area(double w, double h) {
+  return AreaBounds{Point2{0.0, 0.0}, Point2{w, h}};
+}
+
+}  // namespace radloc

@@ -1,0 +1,76 @@
+#include "radloc/concurrency/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace radloc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_ && pending_.empty()) return;
+      task = pending_.back();
+      pending_.pop_back();
+    }
+    (*task.body)(task.begin, task.end);
+    {
+      const std::lock_guard lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (n == 0) return;
+  const std::size_t threads = num_threads();
+  if (threads == 1 || n == 1) {
+    chunk_fn(0, n);
+    return;
+  }
+
+  const std::size_t chunks = std::min(threads, n);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+
+  // Keep the first chunk for the calling thread; queue the rest.
+  std::size_t begin = base + (rem > 0 ? 1 : 0);
+  const std::size_t own_end = begin;
+  {
+    const std::lock_guard lock(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t len = base + (c < rem ? 1 : 0);
+      pending_.push_back(Task{&chunk_fn, begin, begin + len});
+      begin += len;
+      ++outstanding_;
+    }
+  }
+  work_ready_.notify_all();
+
+  chunk_fn(0, own_end);
+
+  std::unique_lock lock(mu_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace radloc

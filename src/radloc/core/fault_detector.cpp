@@ -1,0 +1,76 @@
+#include "radloc/core/fault_detector.hpp"
+
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+FaultDetector::FaultDetector(const Environment& env, std::vector<Sensor> sensors,
+                             FaultDetectorConfig cfg)
+    : env_(&env),
+      sensors_(std::move(sensors)),
+      cfg_(cfg),
+      count_(sensors_.size(), 0),
+      sum_(sensors_.size(), 0.0) {
+  require(!sensors_.empty(), "fault detector needs sensors");
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    require(sensors_[i].id == i, "sensor ids must be dense and in order");
+  }
+}
+
+void FaultDetector::observe(const Measurement& m) {
+  require(m.sensor < sensors_.size(), "measurement from unknown sensor");
+  require(m.cpm >= 0.0, "negative CPM reading");
+  ++count_[m.sensor];
+  sum_[m.sensor] += m.cpm;
+}
+
+std::vector<SensorHealth> FaultDetector::assess(
+    std::span<const SourceEstimate> estimates) const {
+  std::vector<Source> sources;
+  sources.reserve(estimates.size());
+  for (const auto& e : estimates) sources.push_back(Source{e.pos, e.strength});
+
+  Environment free_space = env_->without_obstacles();
+  const Environment& model_env = cfg_.use_known_obstacles ? *env_ : free_space;
+
+  std::vector<SensorHealth> report;
+  report.reserve(sensors_.size());
+  for (const Sensor& s : sensors_) {
+    SensorHealth h;
+    h.sensor = s.id;
+    h.readings = count_[s.id];
+    h.expected_cpm = expected_cpm(s.pos, sources, model_env, s.response);
+    if (h.readings > 0) h.mean_cpm = sum_[s.id] / static_cast<double>(h.readings);
+    if (h.readings >= cfg_.min_readings && h.expected_cpm > 0.0) {
+      const double n = static_cast<double>(h.readings);
+      h.z_score = (h.mean_cpm - h.expected_cpm) / std::sqrt(h.expected_cpm / n);
+      bool near_source = false;
+      if (cfg_.near_source_exclusion > 0.0) {
+        for (const auto& src : sources) {
+          if (distance(s.pos, src.pos) < cfg_.near_source_exclusion) near_source = true;
+        }
+      }
+      h.suspect = !near_source && std::abs(h.z_score) > cfg_.z_threshold;
+    }
+    report.push_back(h);
+  }
+  return report;
+}
+
+std::vector<SensorId> FaultDetector::suspects(std::span<const SourceEstimate> estimates) const {
+  std::vector<SensorId> out;
+  for (const auto& h : assess(estimates)) {
+    if (h.suspect) out.push_back(h.sensor);
+  }
+  return out;
+}
+
+void FaultDetector::reset() {
+  std::fill(count_.begin(), count_.end(), 0u);
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+}
+
+}  // namespace radloc

@@ -1,0 +1,74 @@
+// Malfunctioning-sensor detection.
+//
+// The paper claims robustness to malfunctioning sensors; this module makes
+// the failure visible. Given the current source estimates, every sensor's
+// reading history should be Poisson around the modeled rate. Sensors whose
+// standardized residual drifts far from zero are flagged — stuck counters,
+// mis-calibrated efficiency, or local interference all show up here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+struct SensorHealth {
+  SensorId sensor = 0;
+  std::size_t readings = 0;
+  double mean_cpm = 0.0;       ///< empirical mean reading
+  double expected_cpm = 0.0;   ///< modeled rate given the estimates
+  /// Standardized residual: (mean - expected) / sqrt(expected / n). Under a
+  /// healthy sensor this is ~N(0,1); |z| > ~4 is a strong anomaly.
+  double z_score = 0.0;
+  bool suspect = false;
+};
+
+struct FaultDetectorConfig {
+  /// |z| above which a sensor is flagged.
+  double z_threshold = 4.0;
+  /// Minimum readings before a sensor can be judged.
+  std::size_t min_readings = 5;
+  /// Model obstacles when predicting rates (requires a trusted obstacle map).
+  bool use_known_obstacles = false;
+  /// Sensors closer than this to any estimated source are never flagged:
+  /// so near a source, a one-unit localization error changes the expected
+  /// rate by tens of percent, and the residual measures the estimate, not
+  /// the sensor. 0 disables the exclusion.
+  double near_source_exclusion = 0.0;
+};
+
+class FaultDetector {
+ public:
+  /// `env` and `sensors` are copied/borrowed like the localizer's; `env`
+  /// must outlive the detector.
+  FaultDetector(const Environment& env, std::vector<Sensor> sensors,
+                FaultDetectorConfig cfg = {});
+
+  /// Feeds one observed measurement.
+  void observe(const Measurement& m);
+
+  /// Health report for every sensor, given the current best source
+  /// estimates (e.g. MultiSourceLocalizer::estimate()).
+  [[nodiscard]] std::vector<SensorHealth> assess(
+      std::span<const SourceEstimate> estimates) const;
+
+  /// Ids of flagged sensors only.
+  [[nodiscard]] std::vector<SensorId> suspects(
+      std::span<const SourceEstimate> estimates) const;
+
+  void reset();
+
+ private:
+  const Environment* env_;
+  std::vector<Sensor> sensors_;
+  FaultDetectorConfig cfg_;
+  std::vector<std::uint64_t> count_;
+  std::vector<double> sum_;
+};
+
+}  // namespace radloc

@@ -1,0 +1,136 @@
+#include "radloc/core/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+MultiSourceLocalizer::MultiSourceLocalizer(const Environment& env, std::vector<Sensor> sensors,
+                                           LocalizerConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      pool_(cfg.num_threads),
+      filter_(env, std::move(sensors), cfg.filter, Rng(seed)),
+      estimator_(env.bounds(), cfg.meanshift, pool_),
+      recent_readings_(filter_.sensors().size()),
+      recent_head_(filter_.sensors().size(), 0),
+      recent_size_(filter_.sensors().size(), 0) {
+  require(cfg_.history_window >= 1, "history window must hold at least one reading");
+  for (auto& buf : recent_readings_) buf.assign(cfg_.history_window, 0.0);
+}
+
+void MultiSourceLocalizer::process(const Measurement& m) {
+  filter_.process(m);
+  // process() validated the sensor id. The ring buffer bounds the detection
+  // history so evidence from a since-removed source gets flushed.
+  auto& buf = recent_readings_[m.sensor];
+  buf[recent_head_[m.sensor]] = m.cpm;
+  recent_head_[m.sensor] = (recent_head_[m.sensor] + 1) % buf.size();
+  recent_size_[m.sensor] = std::min(recent_size_[m.sensor] + 1, buf.size());
+}
+
+void MultiSourceLocalizer::process_all(std::span<const Measurement> batch) {
+  for (const auto& m : batch) process(m);
+}
+
+double MultiSourceLocalizer::detection_evidence(
+    const SourceEstimate& candidate, std::span<const SourceEstimate> accepted) const {
+  // Profile-likelihood detection test at the candidate's position: with
+  // lambda0_i the rate under the accepted sources and g_i the unit-strength
+  // contribution of a source at the candidate position, the marginal
+  // Poisson log-LR of n_i readings with empirical mean mbar_i is
+  //   f(s) = sum_i n_i * [ mbar_i * ln((lambda0_i + s*g_i)/lambda0_i) - s*g_i ],
+  // maximized over the nuisance strength s >= 0 (f is concave in s). This
+  // asks "is there ANY source strength here that adds evidence" — robust to
+  // the mode's own strength estimate being noisy.
+  const double range = cfg_.filter.fusion_range;
+  const Environment& env = filter_.environment();
+  const bool obstacles = cfg_.filter.use_known_obstacles;
+
+  auto contribution = [&](const Source& src, const Sensor& s) {
+    return obstacles ? expected_cpm_single(s.pos, src, env, s.response) -
+                           s.response.background_cpm
+                     : expected_cpm_single_free_space(s.pos, src, s.response) -
+                           s.response.background_cpm;
+  };
+
+  struct Term {
+    double n, mean, base, gain;
+  };
+  std::vector<Term> terms;
+  for (const Sensor& s : filter_.sensors()) {
+    if (recent_size_[s.id] == 0) continue;
+    if (distance(s.pos, candidate.pos) > range) continue;
+    double base = s.response.background_cpm;
+    for (const auto& a : accepted) base += contribution(Source{a.pos, a.strength}, s);
+    // Guard the bg = 0 corner: ln(x/0) diverges; floor the base rate at a
+    // fraction of a count so zero-background deployments work.
+    base = std::max(base, 0.1);
+    const double gain = contribution(Source{candidate.pos, 1.0}, s);
+    if (gain <= 0.0) continue;
+    const auto n = static_cast<double>(recent_size_[s.id]);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < recent_size_[s.id]; ++r) sum += recent_readings_[s.id][r];
+    terms.push_back(Term{n, sum / n, base, gain});
+  }
+  if (terms.empty()) return -std::numeric_limits<double>::infinity();
+
+  auto f = [&](double s) {
+    double total = 0.0;
+    for (const auto& t : terms) {
+      total += t.n * (t.mean * std::log1p(s * t.gain / t.base) - s * t.gain);
+    }
+    return total;
+  };
+
+  // Ternary search on the concave profile over the physical strength range.
+  double lo = 0.0;
+  double hi = cfg_.filter.strength_max;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (f(m1) < f(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return f(0.5 * (lo + hi));
+}
+
+std::vector<SourceEstimate> MultiSourceLocalizer::estimate() {
+  auto modes = estimator_.estimate(filter_.positions(), filter_.strengths(), filter_.weights());
+  if (std::isinf(cfg_.detection_log_lr) && cfg_.detection_log_lr < 0.0) return modes;
+
+  // Greedy forward selection: accept the candidate with the largest marginal
+  // evidence, fold it into the explained model, repeat until no remaining
+  // candidate clears the threshold. Phantom modes that only re-explain the
+  // far field of accepted sources see their marginal evidence collapse.
+  std::vector<SourceEstimate> accepted;
+  std::vector<SourceEstimate> pool = std::move(modes);
+  while (!pool.empty()) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const double gain = detection_evidence(pool[i], accepted);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == pool.size() || best_gain < cfg_.detection_log_lr) break;
+    accepted.push_back(pool[best]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const SourceEstimate& a, const SourceEstimate& b) {
+              return a.support > b.support;
+            });
+  return accepted;
+}
+
+}  // namespace radloc

@@ -1,0 +1,100 @@
+// MultiSourceLocalizer — radloc's public entry point.
+//
+// Combines the fusion-range particle filter (filter/) with mean-shift mode
+// finding (meanshift/) exactly as in Fig. 1 of the paper: feed measurements
+// one at a time in arrival order (any order), ask for estimates whenever you
+// like. Neither the number of sources nor the obstacle layout is required.
+//
+//   Environment env(make_area(100, 100));          // bounds only; obstacles unknown
+//   auto sensors = place_grid(env.bounds(), 6, 6);
+//   MultiSourceLocalizer loc(env, sensors, {}, /*seed=*/42);
+//   for (const Measurement& m : arriving_measurements) loc.process(m);
+//   for (const SourceEstimate& e : loc.estimate())
+//     use(e.pos, e.strength, e.support);
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radloc/concurrency/thread_pool.hpp"
+#include "radloc/filter/particle_filter.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+struct LocalizerConfig {
+  FilterConfig filter;
+  MeanShiftConfig meanshift;
+  /// Worker threads for the mean-shift stage (1 = serial). The paper's
+  /// Table I scaling knob.
+  std::size_t num_threads = 1;
+  /// Detection threshold: mean-shift modes are accepted greedily, strongest
+  /// evidence first; a candidate is reported only when the accumulated
+  /// *marginal* log likelihood ratio of "accepted sources + candidate" vs
+  /// "accepted sources only", over the observed readings of the sensors
+  /// within fusion range of the candidate, exceeds this value. This is the
+  /// mode-acceptance rule the paper leaves unspecified: weak but real
+  /// sources emerge as evidence accumulates (the paper's slow 4 uCi
+  /// convergence), while phantom modes that merely re-explain the far field
+  /// of already-accepted sources are rejected. Set to -inf to report every
+  /// mean-shift mode.
+  double detection_log_lr = 3.0;
+  /// Sliding window of recent readings per sensor feeding the detection
+  /// test. Bounded history is essential for source DISAPPEARANCE: with
+  /// unlimited memory, a removed source keeps passing the detection test
+  /// on stale evidence indefinitely. Ten readings per sensor give a weak
+  /// 4 uCi source an accumulated log-LR well above the threshold while
+  /// flushing a removed source's evidence within ten time steps.
+  std::size_t history_window = 10;
+};
+
+class MultiSourceLocalizer {
+ public:
+  /// `env` carries the surveillance-area bounds (and, only when
+  /// cfg.filter.use_known_obstacles is set, obstacles the localizer may
+  /// exploit); it must outlive the localizer. `sensors` are the known sensor
+  /// deployments; `seed` fixes all of the localizer's randomness.
+  MultiSourceLocalizer(const Environment& env, std::vector<Sensor> sensors, LocalizerConfig cfg,
+                       std::uint64_t seed);
+
+  /// Feeds one measurement (one filter iteration, Sec. V-B/C/E).
+  void process(const Measurement& m);
+
+  /// Feeds a batch in the given order (convenience for one time step).
+  void process_all(std::span<const Measurement> batch);
+
+  /// Runs mean-shift over the current particle cloud, validates each mode
+  /// against the background-only hypothesis (detection_log_lr), and returns
+  /// one estimate per discovered source, sorted by support (Sec. V-D). The
+  /// number of returned estimates is the learned K.
+  [[nodiscard]] std::vector<SourceEstimate> estimate();
+
+  /// Accumulated marginal log likelihood ratio of adding `candidate` on top
+  /// of the `accepted` source set, over all readings seen so far from
+  /// sensors within the fusion range of the candidate. Positive = evidence
+  /// the candidate is a real additional source. Exposed for diagnostics and
+  /// tests; estimate() uses it greedily.
+  [[nodiscard]] double detection_evidence(
+      const SourceEstimate& candidate,
+      std::span<const SourceEstimate> accepted = {}) const;
+
+  [[nodiscard]] const FusionParticleFilter& filter() const { return filter_; }
+  [[nodiscard]] FusionParticleFilter& filter() { return filter_; }
+  [[nodiscard]] const LocalizerConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t iterations() const { return filter_.iteration(); }
+
+ private:
+  LocalizerConfig cfg_;
+  ThreadPool pool_;
+  FusionParticleFilter filter_;
+  MeanShiftEstimator estimator_;
+  // Per-sensor ring buffers of the most recent readings (detection test).
+  std::vector<std::vector<double>> recent_readings_;
+  std::vector<std::size_t> recent_head_;
+  std::vector<std::size_t> recent_size_;
+};
+
+}  // namespace radloc

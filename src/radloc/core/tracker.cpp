@@ -1,0 +1,113 @@
+#include "radloc/core/tracker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+SourceTracker::SourceTracker(TrackerConfig cfg) : cfg_(cfg) {
+  require(cfg_.association_gate > 0.0, "association gate must be positive");
+  require(cfg_.confirm_hits >= 1, "confirm_hits must be >= 1");
+  require(cfg_.confirm_window >= cfg_.confirm_hits, "confirm window shorter than hits");
+  require(cfg_.kill_misses >= 1, "kill_misses must be >= 1");
+  require(cfg_.smoothing_alpha > 0.0 && cfg_.smoothing_alpha <= 1.0,
+          "smoothing alpha must be in (0, 1]");
+}
+
+std::vector<TrackEvent> SourceTracker::update(std::span<const SourceEstimate> estimates) {
+  ++update_count_;
+  std::vector<TrackEvent> events;
+
+  // Greedy association: globally closest (track, estimate) pairs first.
+  struct Pair {
+    double d;
+    std::size_t track;
+    std::size_t estimate;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    for (std::size_t e = 0; e < estimates.size(); ++e) {
+      const double d = distance(tracks_[t].pos, estimates[e].pos);
+      if (d <= cfg_.association_gate) pairs.push_back(Pair{d, t, e});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) { return a.d < b.d; });
+
+  std::vector<bool> track_hit(tracks_.size(), false);
+  std::vector<bool> estimate_used(estimates.size(), false);
+  for (const auto& p : pairs) {
+    if (track_hit[p.track] || estimate_used[p.estimate]) continue;
+    track_hit[p.track] = true;
+    estimate_used[p.estimate] = true;
+
+    Track& track = tracks_[p.track];
+    const SourceEstimate& est = estimates[p.estimate];
+    const double a = cfg_.smoothing_alpha;
+    track.pos = (1.0 - a) * track.pos + a * est.pos;
+    track.strength = (1.0 - a) * track.strength + a * est.strength;
+    ++track.hits;
+    track.misses = 0;
+    track.last_seen = update_count_;
+
+    if (track.state == TrackState::kTentative && track.hits >= cfg_.confirm_hits &&
+        update_count_ - track.first_seen < cfg_.confirm_window) {
+      track.state = TrackState::kConfirmed;
+      events.push_back(TrackEvent{TrackEvent::Kind::kConfirmed, track});
+    }
+  }
+
+  // Miss bookkeeping and track death.
+  std::vector<Track> survivors;
+  survivors.reserve(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    Track& track = tracks_[t];
+    if (!track_hit[t]) ++track.misses;
+    if (track.misses >= cfg_.kill_misses) {
+      if (track.state == TrackState::kConfirmed) {
+        events.push_back(TrackEvent{TrackEvent::Kind::kLost, track});
+      }
+      continue;  // tentative tracks die silently
+    }
+    survivors.push_back(track);
+  }
+  tracks_ = std::move(survivors);
+
+  // Unassociated estimates start new tentative tracks.
+  for (std::size_t e = 0; e < estimates.size(); ++e) {
+    if (estimate_used[e]) continue;
+    Track track;
+    track.id = next_id_++;
+    track.pos = estimates[e].pos;
+    track.strength = estimates[e].strength;
+    track.hits = 1;
+    track.first_seen = update_count_;
+    track.last_seen = update_count_;
+    if (cfg_.confirm_hits == 1) {
+      track.state = TrackState::kConfirmed;
+      events.push_back(TrackEvent{TrackEvent::Kind::kConfirmed, track});
+    }
+    tracks_.push_back(track);
+  }
+
+  std::sort(tracks_.begin(), tracks_.end(),
+            [](const Track& a, const Track& b) { return a.id < b.id; });
+  return events;
+}
+
+std::vector<Track> SourceTracker::confirmed() const {
+  std::vector<Track> out;
+  for (const auto& t : tracks_) {
+    if (t.state == TrackState::kConfirmed) out.push_back(t);
+  }
+  return out;
+}
+
+void SourceTracker::reset() {
+  tracks_.clear();
+  next_id_ = 1;
+  update_count_ = 0;
+}
+
+}  // namespace radloc

@@ -1,0 +1,88 @@
+// Source track management — turning per-step estimates into stable,
+// operator-facing tracks and alarms.
+//
+// MultiSourceLocalizer::estimate() is memoryless: it reports the modes of
+// the current particle cloud, so estimates can flicker between steps. The
+// paper's application (alarming on dirty-bomb placement) needs the
+// opposite: persistent source identities, confirmation before alarming,
+// and a clean "source disappeared" signal. SourceTracker implements the
+// standard M-of-N track lifecycle over the estimate stream:
+//
+//   tentative --(M hits out of N updates)--> confirmed
+//   any state --(miss streak >= kill_misses)--> dropped (+ lost event)
+//
+// Estimates are associated to tracks greedily by distance (gate =
+// `association_gate`); positions and strengths are exponentially smoothed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+
+namespace radloc {
+
+using TrackId = std::uint64_t;
+
+enum class TrackState { kTentative, kConfirmed };
+
+struct Track {
+  TrackId id = 0;
+  TrackState state = TrackState::kTentative;
+  Point2 pos;                ///< smoothed position
+  double strength = 0.0;     ///< smoothed strength (uCi)
+  std::size_t hits = 0;      ///< total associated estimates
+  std::size_t misses = 0;    ///< current consecutive misses
+  std::uint64_t first_seen = 0;  ///< update index of track birth
+  std::uint64_t last_seen = 0;   ///< update index of last associated estimate
+};
+
+/// Alarm-style notifications produced by an update.
+struct TrackEvent {
+  enum class Kind { kConfirmed, kLost } kind = Kind::kConfirmed;
+  Track track;  ///< snapshot at event time
+};
+
+struct TrackerConfig {
+  /// Estimates farther than this from every track start a new track.
+  double association_gate = 15.0;
+  /// Hits needed (within the first `confirm_window` updates of the track's
+  /// life) to confirm. 1/1 confirms instantly.
+  std::size_t confirm_hits = 3;
+  std::size_t confirm_window = 5;
+  /// Consecutive updates without an associated estimate before the track
+  /// is dropped.
+  std::size_t kill_misses = 5;
+  /// Exponential smoothing factor for position/strength (1 = no smoothing).
+  double smoothing_alpha = 0.5;
+};
+
+class SourceTracker {
+ public:
+  explicit SourceTracker(TrackerConfig cfg = {});
+
+  /// Feeds one round of estimates (typically once per time step). Returns
+  /// the events raised by this update (confirmations and losses).
+  std::vector<TrackEvent> update(std::span<const SourceEstimate> estimates);
+
+  /// Live tracks (tentative + confirmed), ordered by id.
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Confirmed tracks only.
+  [[nodiscard]] std::vector<Track> confirmed() const;
+
+  [[nodiscard]] std::uint64_t updates() const { return update_count_; }
+  [[nodiscard]] const TrackerConfig& config() const { return cfg_; }
+
+  void reset();
+
+ private:
+  TrackerConfig cfg_;
+  std::vector<Track> tracks_;
+  TrackId next_id_ = 1;
+  std::uint64_t update_count_ = 0;
+};
+
+}  // namespace radloc

@@ -1,0 +1,94 @@
+#include "radloc/eval/coverage.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+Point2 CoverageMap::cell_center(std::size_t cx, std::size_t cy) const {
+  const double w = bounds.width() / static_cast<double>(cells_x);
+  const double h = bounds.height() / static_cast<double>(cells_y);
+  return Point2{bounds.min.x + (static_cast<double>(cx) + 0.5) * w,
+                bounds.min.y + (static_cast<double>(cy) + 0.5) * h};
+}
+
+double CoverageMap::covered_fraction(double strength) const {
+  if (min_detectable.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const double s : min_detectable) {
+    if (s <= strength) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(min_detectable.size());
+}
+
+double CoverageMap::worst_case() const {
+  double worst = 0.0;
+  for (const double s : min_detectable) worst = std::max(worst, s);
+  return worst;
+}
+
+double expected_detection_log_lr(const Environment& env, std::span<const Sensor> sensors,
+                                 const Source& source, const CoverageConfig& cfg) {
+  // Under truth "source present", the expected per-reading log-LR at sensor
+  // i is the Kullback-Leibler divergence KL(Poisson(lambda) || Poisson(B)):
+  //   lambda * ln(lambda / B) - (lambda - B).
+  Environment free_space = env.without_obstacles();
+  const Environment& model_env = cfg.use_obstacles ? env : free_space;
+  double total = 0.0;
+  for (const Sensor& s : sensors) {
+    if (distance(s.pos, source.pos) > cfg.detection_range) continue;
+    const double bg = std::max(s.response.background_cpm, 0.1);
+    const double lambda = std::max(expected_cpm_single(s.pos, source, model_env, s.response),
+                                   bg);
+    total += static_cast<double>(cfg.steps) * (lambda * std::log(lambda / bg) - (lambda - bg));
+  }
+  return total;
+}
+
+CoverageMap compute_coverage(const Environment& env, std::span<const Sensor> sensors,
+                             const CoverageConfig& cfg) {
+  require(cfg.cells_x >= 1 && cfg.cells_y >= 1, "coverage grid must be non-empty");
+  require(cfg.strength_min > 0.0 && cfg.strength_max > cfg.strength_min,
+          "coverage strength bracket invalid");
+  require(!sensors.empty(), "coverage needs sensors");
+
+  CoverageMap map;
+  map.cells_x = cfg.cells_x;
+  map.cells_y = cfg.cells_y;
+  map.bounds = env.bounds();
+  map.min_detectable.assign(cfg.cells_x * cfg.cells_y,
+                            std::numeric_limits<double>::infinity());
+
+  for (std::size_t cy = 0; cy < cfg.cells_y; ++cy) {
+    for (std::size_t cx = 0; cx < cfg.cells_x; ++cx) {
+      const Point2 pos = map.cell_center(cx, cy);
+      // The log-LR is monotone increasing in strength: bisect for the
+      // threshold crossing.
+      auto lr = [&](double strength) {
+        return expected_detection_log_lr(env, sensors, Source{pos, strength}, cfg);
+      };
+      if (lr(cfg.strength_max) < cfg.required_log_lr) continue;  // blind cell
+      double lo = cfg.strength_min;
+      double hi = cfg.strength_max;
+      if (lr(lo) >= cfg.required_log_lr) {
+        map.min_detectable[cy * cfg.cells_x + cx] = lo;
+        continue;
+      }
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (lr(mid) >= cfg.required_log_lr) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      map.min_detectable[cy * cfg.cells_x + cx] = hi;
+    }
+  }
+  return map;
+}
+
+}  // namespace radloc

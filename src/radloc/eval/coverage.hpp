@@ -1,0 +1,72 @@
+// Deployment coverage analysis: what can this sensor network actually see?
+//
+// Before deploying (or when sizing the grid for a new site), planners need
+// the map of minimum detectable source strength: the weakest source at
+// each location whose signal is statistically separable from background
+// within a chosen observation budget. The detectability criterion matches
+// the localizer's detection test: the accumulated Poisson log-LR of
+// "source present at its true parameters" vs "background only" over the
+// sensors within `detection_range`, with `steps` readings each, must reach
+// `required_log_lr`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+struct CoverageConfig {
+  std::size_t cells_x = 50;
+  std::size_t cells_y = 50;
+  /// Readings per sensor assumed available (the time budget T).
+  std::size_t steps = 10;
+  /// Only sensors within this range of a location contribute (matches the
+  /// localizer's fusion range).
+  double detection_range = 28.0;
+  /// Required accumulated log likelihood ratio (the localizer's default
+  /// detection threshold).
+  double required_log_lr = 3.0;
+  /// Strength search bracket (uCi).
+  double strength_min = 0.1;
+  double strength_max = 10000.0;
+  /// Model obstacles when predicting rates.
+  bool use_obstacles = true;
+};
+
+struct CoverageMap {
+  std::size_t cells_x = 0;
+  std::size_t cells_y = 0;
+  AreaBounds bounds;
+  /// Row-major minimum detectable strength (uCi); +inf where nothing in
+  /// range can ever detect (no sensors within detection_range).
+  std::vector<double> min_detectable;
+
+  [[nodiscard]] double at(std::size_t cx, std::size_t cy) const {
+    return min_detectable[cy * cells_x + cx];
+  }
+  [[nodiscard]] Point2 cell_center(std::size_t cx, std::size_t cy) const;
+
+  /// Fraction of cells with min-detectable <= `strength`.
+  [[nodiscard]] double covered_fraction(double strength) const;
+  /// Largest min-detectable over the area (inf if any cell is blind).
+  [[nodiscard]] double worst_case() const;
+};
+
+/// Computes the minimum-detectable-strength map for a deployment.
+[[nodiscard]] CoverageMap compute_coverage(const Environment& env,
+                                           std::span<const Sensor> sensors,
+                                           const CoverageConfig& cfg = {});
+
+/// Expected detection log-LR for a specific source under the deployment —
+/// the quantity the map thresholds. Exposed for tests and planners.
+[[nodiscard]] double expected_detection_log_lr(const Environment& env,
+                                               std::span<const Sensor> sensors,
+                                               const Source& source,
+                                               const CoverageConfig& cfg = {});
+
+}  // namespace radloc

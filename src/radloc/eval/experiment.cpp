@@ -1,0 +1,164 @@
+#include "radloc/eval/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "radloc/common/math.hpp"
+#include "radloc/sensornet/delivery.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+
+namespace {
+
+std::unique_ptr<DeliveryModel> make_delivery(const Scenario& scenario,
+                                             const ExperimentOptions& opts) {
+  DeliveryKind kind = scenario.out_of_order_delivery ? DeliveryKind::kShuffled
+                                                     : DeliveryKind::kInOrder;
+  if (opts.delivery_override) kind = *opts.delivery_override;
+
+  std::unique_ptr<DeliveryModel> model;
+  switch (kind) {
+    case DeliveryKind::kInOrder:
+      model = std::make_unique<InOrderDelivery>();
+      break;
+    case DeliveryKind::kShuffled:
+      model = std::make_unique<ShuffledDelivery>();
+      break;
+    case DeliveryKind::kRandomLatency:
+      model = std::make_unique<RandomLatencyDelivery>(opts.mean_latency_steps);
+      break;
+  }
+  if (opts.loss_rate > 0.0) {
+    model = std::make_unique<LossyDelivery>(opts.loss_rate, std::move(model));
+  }
+  return model;
+}
+
+}  // namespace
+
+double ExperimentResult::avg_error(std::size_t source, std::size_t from, std::size_t to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = from; t < to && t < error.size(); ++t) {
+    const double e = error[t][source];
+    if (!std::isnan(e)) {
+      sum += e;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : std::numeric_limits<double>::quiet_NaN();
+}
+
+double ExperimentResult::avg_error_all(std::size_t from, std::size_t to) const {
+  if (error.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < error.front().size(); ++j) {
+    const double e = avg_error(j, from, to);
+    if (!std::isnan(e)) {
+      sum += e;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : std::numeric_limits<double>::quiet_NaN();
+}
+
+double ExperimentResult::avg_false_positives(std::size_t from, std::size_t to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = from; t < to && t < false_positives.size(); ++t) {
+    sum += false_positives[t];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double ExperimentResult::avg_false_negatives(std::size_t from, std::size_t to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = from; t < to && t < false_negatives.size(); ++t) {
+    sum += false_negatives[t];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOptions& opts) {
+  require(opts.trials > 0, "experiment needs at least one trial");
+  require(opts.time_steps > 0, "experiment needs at least one time step");
+
+  const std::size_t num_sources = scenario.sources.size();
+  const std::size_t steps = opts.time_steps;
+
+  // Accumulators: per-step per-source error sums & match counts, fp/fn sums.
+  std::vector<std::vector<double>> err_sum(steps, std::vector<double>(num_sources, 0.0));
+  std::vector<std::vector<std::size_t>> err_n(steps, std::vector<std::size_t>(num_sources, 0));
+  std::vector<double> fp_sum(steps, 0.0);
+  std::vector<double> fn_sum(steps, 0.0);
+  double total_seconds = 0.0;
+  std::uint64_t total_iterations = 0;
+
+  Rng master(opts.seed);
+  for (std::size_t trial = 0; trial < opts.trials; ++trial) {
+    Rng noise_rng = master.split();
+    Rng delivery_rng = master.split();
+    const std::uint64_t localizer_seed = master();
+
+    LocalizerConfig cfg = opts.localizer;
+    if (opts.use_scenario_defaults) {
+      cfg.filter.num_particles = scenario.recommended_particles;
+      cfg.filter.fusion_range = scenario.recommended_fusion_range;
+    }
+
+    MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+    MultiSourceLocalizer localizer(scenario.env, scenario.sensors, cfg, localizer_seed);
+    auto delivery = make_delivery(scenario, opts);
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      auto batch = sim.sample_time_step(noise_rng);
+      const auto delivered = delivery->deliver(delivery_rng, std::move(batch));
+
+      const auto t0 = std::chrono::steady_clock::now();
+      localizer.process_all(delivered);
+      const auto estimates = localizer.estimate();
+      const auto t1 = std::chrono::steady_clock::now();
+      total_seconds += std::chrono::duration<double>(t1 - t0).count();
+      total_iterations += delivered.size();
+
+      const auto match = match_estimates(scenario.sources, estimates, opts.match_gate);
+      for (std::size_t j = 0; j < num_sources; ++j) {
+        if (match.error[j]) {
+          err_sum[t][j] += *match.error[j];
+          ++err_n[t][j];
+        }
+      }
+      fp_sum[t] += static_cast<double>(match.false_positives);
+      fn_sum[t] += static_cast<double>(match.false_negatives);
+    }
+  }
+
+  ExperimentResult result;
+  result.error.assign(steps, std::vector<double>(num_sources, 0.0));
+  result.matched_frac.assign(steps, std::vector<double>(num_sources, 0.0));
+  result.false_positives.resize(steps);
+  result.false_negatives.resize(steps);
+  const auto trials = static_cast<double>(opts.trials);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t j = 0; j < num_sources; ++j) {
+      result.error[t][j] = err_n[t][j] > 0
+                               ? err_sum[t][j] / static_cast<double>(err_n[t][j])
+                               : std::numeric_limits<double>::quiet_NaN();
+      result.matched_frac[t][j] = static_cast<double>(err_n[t][j]) / trials;
+    }
+    result.false_positives[t] = fp_sum[t] / trials;
+    result.false_negatives[t] = fn_sum[t] / trials;
+  }
+  result.seconds_per_iteration =
+      total_iterations > 0 ? total_seconds / static_cast<double>(total_iterations) : 0.0;
+  return result;
+}
+
+}  // namespace radloc

@@ -1,0 +1,56 @@
+#include "radloc/eval/matching.hpp"
+
+#include <algorithm>
+
+namespace radloc {
+
+double MatchResult::mean_error() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& e : error) {
+    if (e) {
+      sum += *e;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+MatchResult match_estimates(std::span<const Source> truth,
+                            std::span<const SourceEstimate> estimates, double gate) {
+  MatchResult result;
+  result.error.assign(truth.size(), std::nullopt);
+  result.matched_estimate.assign(truth.size(), std::nullopt);
+
+  struct Pair {
+    double d;
+    std::size_t source;
+    std::size_t estimate;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t s = 0; s < truth.size(); ++s) {
+    for (std::size_t e = 0; e < estimates.size(); ++e) {
+      const double d = distance(truth[s].pos, estimates[e].pos);
+      if (d <= gate) pairs.push_back(Pair{d, s, e});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) { return a.d < b.d; });
+
+  std::vector<bool> estimate_used(estimates.size(), false);
+  for (const auto& p : pairs) {
+    if (result.error[p.source] || estimate_used[p.estimate]) continue;
+    result.error[p.source] = p.d;
+    result.matched_estimate[p.source] = p.estimate;
+    estimate_used[p.estimate] = true;
+  }
+
+  for (const auto& e : result.error) {
+    if (!e) ++result.false_negatives;
+  }
+  for (const bool used : estimate_used) {
+    if (!used) ++result.false_positives;
+  }
+  return result;
+}
+
+}  // namespace radloc

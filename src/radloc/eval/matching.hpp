@@ -1,0 +1,39 @@
+// Estimate-to-truth matching and the paper's three metrics (Sec. VI):
+// localization error, false positives, false negatives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/source.hpp"
+
+namespace radloc {
+
+/// The paper's acceptance gate: an estimate farther than 40 units from every
+/// source matches nothing.
+inline constexpr double kDefaultMatchGate = 40.0;
+
+struct MatchResult {
+  /// Per true source: localization error of its matched estimate, or
+  /// nullopt when the source is a false negative. Same order as `truth`.
+  std::vector<std::optional<double>> error;
+  /// Per true source: index into `estimates` of the match (or nullopt).
+  std::vector<std::optional<std::size_t>> matched_estimate;
+  std::size_t false_positives = 0;  ///< estimates traced to no source
+  std::size_t false_negatives = 0;  ///< sources with no estimate in range
+
+  /// Mean error over matched sources (0 when none matched).
+  [[nodiscard]] double mean_error() const;
+};
+
+/// Greedy one-to-one matching by increasing distance ("each estimate must
+/// estimate a single source only"): the globally closest (source, estimate)
+/// pair within `gate` is matched first, both are removed, repeat.
+[[nodiscard]] MatchResult match_estimates(std::span<const Source> truth,
+                                          std::span<const SourceEstimate> estimates,
+                                          double gate = kDefaultMatchGate);
+
+}  // namespace radloc

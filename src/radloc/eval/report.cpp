@@ -1,0 +1,75 @@
+#include "radloc/eval/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+void print_banner(std::ostream& os, std::string_view title) {
+  os << "\n== " << title << " ==\n";
+}
+
+void print_table(std::ostream& os, std::span<const std::string> header,
+                 std::span<const std::vector<double>> rows, int precision) {
+  constexpr int kColWidth = 12;
+  for (const auto& h : header) os << std::setw(kColWidth) << h;
+  os << '\n';
+  os << std::fixed << std::setprecision(precision);
+  for (const auto& row : rows) {
+    require(row.size() == header.size(), "table row width mismatch");
+    for (const double v : row) {
+      if (std::isnan(v)) {
+        os << std::setw(kColWidth) << "-";
+      } else {
+        os << std::setw(kColWidth) << v;
+      }
+    }
+    os << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void print_time_series(std::ostream& os, const ExperimentResult& result,
+                       std::span<const std::string> source_names) {
+  std::vector<std::string> header{"step"};
+  for (const auto& n : source_names) header.push_back(n);
+  header.emplace_back("FalsePos");
+  header.emplace_back("FalseNeg");
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t t = 0; t < result.error.size(); ++t) {
+    std::vector<double> row{static_cast<double>(t)};
+    for (std::size_t j = 0; j < source_names.size(); ++j) row.push_back(result.error[t][j]);
+    row.push_back(result.false_positives[t]);
+    row.push_back(result.false_negatives[t]);
+    rows.push_back(std::move(row));
+  }
+  print_table(os, header, rows);
+}
+
+void write_time_series_csv(std::ostream& os, const ExperimentResult& result,
+                           std::span<const std::string> source_names) {
+  os << "step";
+  for (const auto& n : source_names) os << ',' << n;
+  os << ",false_positives,false_negatives\n";
+  for (std::size_t t = 0; t < result.error.size(); ++t) {
+    os << t;
+    for (std::size_t j = 0; j < source_names.size(); ++j) {
+      os << ',';
+      if (!std::isnan(result.error[t][j])) os << result.error[t][j];
+    }
+    os << ',' << result.false_positives[t] << ',' << result.false_negatives[t] << '\n';
+  }
+}
+
+std::vector<std::string> default_source_names(std::size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t j = 1; j <= n; ++j) names.push_back("Source" + std::to_string(j));
+  return names;
+}
+
+}  // namespace radloc

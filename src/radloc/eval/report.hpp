@@ -1,0 +1,38 @@
+// Console / CSV reporting helpers shared by the bench binaries.
+//
+// Every bench prints the same rows/series as the corresponding paper figure
+// or table; these helpers keep that output consistent and parseable.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "radloc/eval/experiment.hpp"
+
+namespace radloc {
+
+/// Prints "== title ==" banner.
+void print_banner(std::ostream& os, std::string_view title);
+
+/// Prints a fixed-width table: `header` column names, then one row per
+/// entry of `rows`. Column count must match.
+void print_table(std::ostream& os, std::span<const std::string> header,
+                 std::span<const std::vector<double>> rows, int precision = 2);
+
+/// Prints the per-time-step series of an ExperimentResult the way the
+/// paper's figures plot them: one row per step, one error column per source,
+/// then FP and FN columns.
+void print_time_series(std::ostream& os, const ExperimentResult& result,
+                       std::span<const std::string> source_names);
+
+/// Writes the same series as CSV (for external plotting).
+void write_time_series_csv(std::ostream& os, const ExperimentResult& result,
+                           std::span<const std::string> source_names);
+
+/// "Source 1", "Source 2", ... helper.
+[[nodiscard]] std::vector<std::string> default_source_names(std::size_t n);
+
+}  // namespace radloc

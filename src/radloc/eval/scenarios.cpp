@@ -1,0 +1,177 @@
+#include "radloc/eval/scenarios.hpp"
+
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/geom/polygon.hpp"
+#include "radloc/geom/shapes.hpp"
+#include "radloc/rng/distributions.hpp"
+#include "radloc/rng/poisson_process.hpp"
+#include "radloc/sensornet/placement.hpp"
+
+namespace radloc {
+
+namespace {
+
+/// The paper's synthetic obstacle attenuation: halves intensity every 10
+/// length units (Sec. VI-B).
+constexpr double kPaperMu = 0.0693;
+
+/// Scenario B/C source set. Strengths are "non-uniform, between 10-100 uCi"
+/// (Sec. VI-C); the layout mirrors Fig. 8(b): S2/S3 flank the tall wall,
+/// S5 sits right under the central wall, S6 next to its vertical arm,
+/// S7/S9 flank the eastern wall, S1/S4 are in open space.
+std::vector<Source> scenario_b_sources() {
+  return {
+      Source{{30.0, 230.0}, 40.0},   // S1 — open space (top-left)
+      Source{{92.0, 205.0}, 25.0},   // S2 — west of wall 1
+      Source{{150.0, 210.0}, 60.0},  // S3 — east of wall 1
+      Source{{235.0, 235.0}, 90.0},  // S4 — open space (top-right)
+      Source{{130.0, 132.0}, 15.0},  // S5 — immediately south of wall 2 (hurt by it)
+      Source{{48.0, 112.0}, 35.0},   // S6 — beside wall 2's vertical arm
+      Source{{215.0, 140.0}, 80.0},  // S7 — north of wall 3
+      Source{{70.0, 40.0}, 20.0},    // S8 — mostly open (south-west)
+      Source{{190.0, 52.0}, 50.0},   // S9 — south of wall 3
+  };
+}
+
+/// Three obstacles of uneven thickness (Fig. 8(b)).
+std::vector<Obstacle> scenario_b_obstacles() {
+  std::vector<Obstacle> obstacles;
+  // Wall 1: tall vertical slab separating S2 from S3.
+  obstacles.emplace_back(make_rect(114.0, 180.0, 122.0, 250.0), kPaperMu);
+  // Wall 2: L-shape — horizontal arm just north of S5, vertical arm east of
+  // S6. Thickness varies between arms ("uneven thickness").
+  obstacles.emplace_back(Polygon({{60.0, 140.0},
+                                  {175.0, 140.0},
+                                  {175.0, 148.0},
+                                  {72.0, 148.0},
+                                  {72.0, 100.0},
+                                  {60.0, 100.0}}),
+                         kPaperMu);
+  // Wall 3: vertical slab between S7 (north) and S9 (south).
+  obstacles.emplace_back(make_rect(196.0, 65.0, 202.0, 128.0), kPaperMu);
+  return obstacles;
+}
+
+}  // namespace
+
+Scenario Scenario::without_obstacles() const {
+  Scenario s{*this};
+  s.env = env.without_obstacles();
+  return s;
+}
+
+Scenario make_scenario_a(double source_strength, double background_cpm, bool with_obstacle) {
+  const AreaBounds area = make_area(100.0, 100.0);
+  std::vector<Obstacle> obstacles;
+  if (with_obstacle) {
+    // U-shaped obstacle in the middle, walls 2 units thick, opening upward.
+    obstacles.emplace_back(make_u_shape(38.0, 35.0, 62.0, 60.0, 2.0), kPaperMu);
+  }
+  Scenario s{
+      "A",
+      Environment(area, std::move(obstacles)),
+      place_grid(area, 6, 6),
+      {Source{{47.0, 71.0}, source_strength}, Source{{81.0, 42.0}, source_strength}},
+      /*recommended_particles=*/2000,
+      /*recommended_fusion_range=*/28.0,
+      /*out_of_order_delivery=*/false,
+  };
+  set_background(s.sensors, background_cpm);
+  return s;
+}
+
+Scenario make_scenario_a3(double source_strength, double background_cpm) {
+  const AreaBounds area = make_area(100.0, 100.0);
+  Scenario s{
+      "A3",
+      Environment(area),
+      place_grid(area, 6, 6),
+      {Source{{87.0, 89.0}, source_strength}, Source{{37.0, 14.0}, source_strength},
+       Source{{55.0, 51.0}, source_strength}},
+      /*recommended_particles=*/2000,
+      /*recommended_fusion_range=*/28.0,
+      /*out_of_order_delivery=*/false,
+  };
+  set_background(s.sensors, background_cpm);
+  return s;
+}
+
+Scenario make_scenario_b(double background_cpm, bool with_obstacles) {
+  const AreaBounds area = make_area(260.0, 260.0);
+  Scenario s{
+      "B",
+      Environment(area, with_obstacles ? scenario_b_obstacles() : std::vector<Obstacle>{}),
+      place_grid(area, 14, 14),
+      scenario_b_sources(),
+      /*recommended_particles=*/15000,
+      /*recommended_fusion_range=*/28.0,
+      /*out_of_order_delivery=*/false,
+  };
+  set_background(s.sensors, background_cpm);
+  return s;
+}
+
+Scenario make_scenario_c(double background_cpm, bool with_obstacles,
+                         std::uint64_t placement_seed) {
+  const AreaBounds area = make_area(260.0, 260.0);
+  Rng rng(placement_seed);
+  Scenario s{
+      "C",
+      Environment(area, with_obstacles ? scenario_b_obstacles() : std::vector<Obstacle>{}),
+      place_poisson(rng, area, 195),
+      scenario_b_sources(),
+      /*recommended_particles=*/15000,
+      /*recommended_fusion_range=*/32.0,  // random gaps need a slightly wider range
+      /*out_of_order_delivery=*/true,
+  };
+  set_background(s.sensors, background_cpm);
+  return s;
+}
+
+Scenario make_random_scenario(Rng& rng, const RandomScenarioConfig& cfg) {
+  require(cfg.num_sources >= 1, "random scenario needs at least one source");
+  require(cfg.strength_min > 0.0 && cfg.strength_max >= cfg.strength_min,
+          "random scenario strength range invalid");
+  const AreaBounds area = make_area(cfg.area_side, cfg.area_side);
+
+  // Sources: separated positions, log-uniform strengths, kept off the very
+  // edge so every source has sensors on all sides.
+  const AreaBounds inner{area.min + Vec2{10.0, 10.0}, area.max - Vec2{10.0, 10.0}};
+  const auto positions =
+      sample_separated_points(rng, inner, cfg.num_sources, cfg.min_source_separation);
+  std::vector<Source> sources;
+  for (const auto& p : positions) {
+    sources.push_back(Source{
+        p, std::exp(uniform(rng, std::log(cfg.strength_min), std::log(cfg.strength_max)))});
+  }
+
+  // Obstacles: random walls of random length/orientation/material.
+  std::vector<Obstacle> obstacles;
+  for (std::size_t i = 0; i < cfg.num_obstacles; ++i) {
+    const Point2 a = uniform_point(rng, inner);
+    const double angle = uniform(rng, 0.0, 2.0 * kPi);
+    const double len = uniform(rng, 0.15, 0.35) * cfg.area_side;
+    const Point2 b = area.clamp(a + Vec2{len * std::cos(angle), len * std::sin(angle)});
+    if (distance(a, b) < 1.0) continue;  // clamped into a degenerate stub
+    const Material materials[] = {Material::kConcrete, Material::kBrick, Material::kSteel};
+    obstacles.emplace_back(make_wall(a, b, uniform(rng, 2.0, 6.0)),
+                           materials[uniform_index(rng, 3)]);
+  }
+
+  Scenario s{
+      "random",
+      Environment(area, std::move(obstacles)),
+      place_grid(area, cfg.grid_sensors_per_side, cfg.grid_sensors_per_side),
+      std::move(sources),
+      /*recommended_particles=*/static_cast<std::size_t>(
+          2000.0 * square(cfg.area_side) / 1e4),
+      /*recommended_fusion_range=*/28.0,
+      /*out_of_order_delivery=*/false,
+  };
+  set_background(s.sensors, cfg.background_cpm);
+  return s;
+}
+
+}  // namespace radloc

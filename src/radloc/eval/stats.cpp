@@ -1,0 +1,64 @@
+#include "radloc/eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+double percentile(std::span<const double> sample, double q) {
+  require(!sample.empty(), "percentile of an empty sample");
+  require(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng, double level,
+                                     std::size_t resamples) {
+  require(!sample.empty(), "bootstrap of an empty sample");
+  require(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+  require(resamples >= 10, "too few bootstrap resamples");
+
+  const double n = static_cast<double>(sample.size());
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = std::accumulate(sample.begin(), sample.end(), 0.0) / n;
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      sum += sample[uniform_index(rng, sample.size())];
+    }
+    means.push_back(sum / n);
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = percentile(means, alpha);
+  ci.hi = percentile(means, 1.0 - alpha);
+  return ci;
+}
+
+Summary summarize(std::span<const double> sample) {
+  require(!sample.empty(), "summary of an empty sample");
+  Summary s;
+  s.min = percentile(sample, 0.0);
+  s.p25 = percentile(sample, 0.25);
+  s.median = percentile(sample, 0.5);
+  s.p75 = percentile(sample, 0.75);
+  s.max = percentile(sample, 1.0);
+  s.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+           static_cast<double>(sample.size());
+  return s;
+}
+
+}  // namespace radloc

@@ -1,0 +1,43 @@
+// Statistical summaries for experiment reporting: percentiles and
+// bootstrap confidence intervals. Simulation papers report means over a
+// handful of trials; the bootstrap puts honest error bars on them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radloc/rng/rng.hpp"
+
+namespace radloc {
+
+/// Linear-interpolated percentile (q in [0, 1]) of the sample. Throws on an
+/// empty sample or q outside [0, 1].
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+struct ConfidenceInterval {
+  double point = 0.0;  ///< the statistic on the full sample (here: mean)
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+};
+
+/// Percentile-bootstrap confidence interval for the MEAN of the sample:
+/// `resamples` bootstrap means, interval = [(1-level)/2, 1-(1-level)/2]
+/// percentiles. Deterministic given `rng`. Throws on an empty sample.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                                                   double level = 0.95,
+                                                   std::size_t resamples = 2000);
+
+/// Five-number summary helper used by report tables.
+struct Summary {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+}  // namespace radloc

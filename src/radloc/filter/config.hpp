@@ -1,0 +1,51 @@
+// Tunables of the fusion-range particle filter (Sec. V).
+#pragma once
+
+#include <cstddef>
+
+namespace radloc {
+
+struct FilterConfig {
+  /// NP — number of particles. Paper: 2000 for the 100x100 scenarios,
+  /// 15000 for the 260x260 ones ("proportional to the area increase").
+  std::size_t num_particles = 2000;
+
+  /// Fusion range d_i (Eq. 5): only particles within this distance of the
+  /// reporting sensor are touched by an update. Paper: 28 for sensors on a
+  /// 20-unit grid ("a particle is within the fusion range of a handful of
+  /// sensors").
+  double fusion_range = 28.0;
+
+  /// sigma_N — std-dev of the Gaussian position jitter added to duplicated
+  /// particles at resampling. Paper: 3.0.
+  double resample_noise_sigma = 3.0;
+
+  /// Multiplicative log-normal jitter on the strength of duplicated
+  /// particles: strength *= exp(N(0, sigma)). The paper jitters "the
+  /// duplicated particles" without giving a strength value; a relative
+  /// jitter keeps the 4-1000 uCi range scale-free.
+  double strength_jitter_sigma = 0.10;
+
+  /// Fraction of resampled slots replaced by fresh uniform particles so new
+  /// sources in emptied regions are eventually found. Paper: "e.g., 5%".
+  double random_replacement_frac = 0.05;
+
+  /// Prior strength range (uCi) for particle initialization and for fresh
+  /// replacement particles — the paper's dirty-bomb range, 4-1000 uCi.
+  /// The floor matters: hypotheses much weaker than the weakest source of
+  /// interest are indistinguishable from background noise and would form
+  /// unfalsifiable ghost clusters (false positives).
+  double strength_min = 4.0;
+  double strength_max = 1000.0;
+
+  /// Draw initial strengths log-uniformly (scale-free over three decades).
+  /// false = uniform, the literal reading of "uniformly random particles".
+  bool log_uniform_strength = true;
+
+  /// If true the filter is told the true obstacle set and applies Eq. (3)
+  /// when predicting sensor readings; if false (the paper's complex-
+  /// environment mode) it assumes free space, Eq. (1).
+  bool use_known_obstacles = false;
+};
+
+}  // namespace radloc

@@ -1,0 +1,12 @@
+#include "radloc/filter/movement.hpp"
+
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+void RandomWalkMovement::evolve(Rng& rng, Point2& pos, double& /*strength*/) const {
+  pos.x += normal(rng, 0.0, sigma_);
+  pos.y += normal(rng, 0.0, sigma_);
+}
+
+}  // namespace radloc

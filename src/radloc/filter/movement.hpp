@@ -1,0 +1,37 @@
+// Source movement models — the F_movement : A -> A of Sec. V-B.
+//
+// The paper assumes static sources (P'' = P'); the hook exists so the same
+// filter tracks slowly moving sources (the paper's future-work direction).
+#pragma once
+
+#include "radloc/common/types.hpp"
+#include "radloc/rng/rng.hpp"
+
+namespace radloc {
+
+class MovementModel {
+ public:
+  virtual ~MovementModel() = default;
+
+  /// Evolves one particle hypothesis in place for one iteration.
+  virtual void evolve(Rng& rng, Point2& pos, double& strength) const = 0;
+};
+
+/// P'' = P': the paper's static-source assumption.
+class StaticMovement final : public MovementModel {
+ public:
+  void evolve(Rng& /*rng*/, Point2& /*pos*/, double& /*strength*/) const override {}
+};
+
+/// Isotropic Gaussian random walk with the given per-iteration std-dev.
+class RandomWalkMovement final : public MovementModel {
+ public:
+  explicit RandomWalkMovement(double step_sigma) : sigma_(step_sigma) {}
+
+  void evolve(Rng& rng, Point2& pos, double& strength) const override;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace radloc

@@ -1,0 +1,19 @@
+// Particle representation.
+//
+// The filter stores particles struct-of-arrays (positions contiguously) so
+// the spatial grid index and the mean-shift kernel loops stay cache-friendly;
+// `Particle` is the AoS view handed out by accessors.
+#pragma once
+
+#include "radloc/common/types.hpp"
+
+namespace radloc {
+
+/// One hypothesis <x, y, strength> with its posterior weight.
+struct Particle {
+  Point2 pos;
+  double strength = 0.0;  ///< micro-Curies
+  double weight = 0.0;    ///< normalized over the whole population
+};
+
+}  // namespace radloc

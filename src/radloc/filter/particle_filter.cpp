@@ -1,0 +1,218 @@
+#include "radloc/filter/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/filter/resample.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+namespace {
+
+// Grid pitch for the particle index: half the fusion range balances cell
+// occupancy against the number of cells scanned per query.
+double index_cell_size(const FilterConfig& cfg) { return std::max(cfg.fusion_range / 2.0, 1.0); }
+
+}  // namespace
+
+FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<Sensor> sensors,
+                                           FilterConfig cfg, Rng rng)
+    : env_(&env),
+      sensors_(std::move(sensors)),
+      cfg_(cfg),
+      rng_(rng),
+      movement_(std::make_unique<StaticMovement>()),
+      grid_(env.bounds(), index_cell_size(cfg)) {
+  require(cfg_.num_particles > 0, "filter needs at least one particle");
+  require(cfg_.fusion_range > 0.0, "fusion range must be positive");
+  require(cfg_.resample_noise_sigma >= 0.0, "resample noise must be non-negative");
+  require(cfg_.random_replacement_frac >= 0.0 && cfg_.random_replacement_frac < 1.0,
+          "random replacement fraction must be in [0, 1)");
+  require(cfg_.strength_min > 0.0 && cfg_.strength_max >= cfg_.strength_min,
+          "strength prior range invalid");
+  // An empty sensor list is allowed: mobile-detector users feed readings
+  // through process_reading() and never reference a sensor id.
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    require(sensors_[i].id == i, "sensor ids must be dense and in order");
+  }
+  initialize_particles();
+}
+
+void FusionParticleFilter::initialize_particles() {
+  const std::size_t np = cfg_.num_particles;
+  positions_.resize(np);
+  strengths_.resize(np);
+  weights_.assign(np, 1.0 / static_cast<double>(np));
+  for (std::size_t i = 0; i < np; ++i) {
+    positions_[i] = random_position();
+    strengths_[i] = random_strength();
+  }
+  grid_dirty_ = true;
+}
+
+Point2 FusionParticleFilter::random_position() { return uniform_point(rng_, env_->bounds()); }
+
+double FusionParticleFilter::random_strength() {
+  if (cfg_.log_uniform_strength) {
+    return std::exp(uniform(rng_, std::log(cfg_.strength_min), std::log(cfg_.strength_max)));
+  }
+  return uniform(rng_, cfg_.strength_min, cfg_.strength_max);
+}
+
+double FusionParticleFilter::hypothesis_rate(const Point2& at, const SensorResponse& response,
+                                             const Point2& pos, double strength) const {
+  const Source hypothesis{pos, strength};
+  if (cfg_.use_known_obstacles) {
+    return expected_cpm_single(at, hypothesis, *env_, response);
+  }
+  return expected_cpm_single_free_space(at, hypothesis, response);
+}
+
+void FusionParticleFilter::set_movement_model(std::unique_ptr<MovementModel> model) {
+  require(model != nullptr, "movement model must not be null");
+  movement_ = std::move(model);
+}
+
+double FusionParticleFilter::effective_sample_size() const {
+  double sum_sq = 0.0;
+  for (const double w : weights_) sum_sq += w * w;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+std::vector<Particle> FusionParticleFilter::particles() const {
+  std::vector<Particle> out(positions_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Particle{positions_[i], strengths_[i], weights_[i]};
+  }
+  return out;
+}
+
+std::size_t FusionParticleFilter::process(const Measurement& m) {
+  require(m.sensor < sensors_.size(), "measurement from unknown sensor");
+  const Sensor& sensor = sensors_[m.sensor];
+  return process_reading(sensor.pos, sensor.response, m.cpm);
+}
+
+std::size_t FusionParticleFilter::process_reading(const Point2& at,
+                                                  const SensorResponse& response, double cpm) {
+  require(cpm >= 0.0 && std::isfinite(cpm), "CPM reading must be finite and non-negative");
+  ++iteration_;
+
+  if (grid_dirty_) {
+    grid_.rebuild(positions_);
+    grid_dirty_ = false;
+  }
+
+  // --- Selection (Eq. 5): P' = particles within the fusion range. ---
+  grid_.query_radius(positions_, at, cfg_.fusion_range, subset_);
+  if (subset_.empty()) return 0;
+
+  // --- Predict: evolve the selected hypotheses. ---
+  const bool static_model = dynamic_cast<const StaticMovement*>(movement_.get()) != nullptr;
+  if (!static_model) {
+    for (const auto i : subset_) {
+      movement_->evolve(rng_, positions_[i], strengths_[i]);
+      positions_[i] = env_->bounds().clamp(positions_[i]);
+    }
+    grid_dirty_ = true;
+  }
+
+  // --- Weight update (Sec. V-C), computed in log space. ---
+  // Raw likelihoods can underflow for wildly wrong hypotheses; we rescale by
+  // the subset max log-likelihood. The subset's *total* mass is preserved
+  // explicitly below, so the rescaling cannot tilt the subset-vs-rest
+  // balance (the paper normalizes globally after merging; preserving subset
+  // mass keeps the same invariant without underflow).
+  const double subset_mass_before =
+      std::accumulate(subset_.begin(), subset_.end(), 0.0,
+                      [&](double acc, std::uint32_t i) { return acc + weights_[i]; });
+  if (subset_mass_before <= 0.0) return 0;
+
+  subset_weights_.resize(subset_.size());
+  double max_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < subset_.size(); ++k) {
+    const auto i = subset_[k];
+    const double rate = hypothesis_rate(at, response, positions_[i], strengths_[i]);
+    const double ll = poisson_log_pmf(cpm, rate);
+    subset_weights_[k] = ll;
+    if (ll > max_ll) max_ll = ll;
+  }
+  if (!std::isfinite(max_ll)) return 0;  // measurement impossible for all hypotheses
+
+  double new_mass = 0.0;
+  for (std::size_t k = 0; k < subset_.size(); ++k) {
+    const double lik = std::exp(subset_weights_[k] - max_ll);
+    subset_weights_[k] = weights_[subset_[k]] * lik;
+    new_mass += subset_weights_[k];
+  }
+  if (new_mass <= 0.0 || !std::isfinite(new_mass)) return 0;  // degenerate update: skip
+
+  // Scale the posterior subset weights so the subset keeps its prior mass,
+  // then write back. Global weights remain normalized.
+  const double scale = subset_mass_before / new_mass;
+  for (std::size_t k = 0; k < subset_.size(); ++k) {
+    weights_[subset_[k]] = subset_weights_[k] * scale;
+  }
+
+  // --- Resample P'' locally (Sec. V-E). ---
+  resample_subset(subset_, subset_mass_before);
+  grid_dirty_ = true;
+
+  return subset_.size();
+}
+
+void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset,
+                                           double subset_mass) {
+  subset_weights_.resize(subset.size());
+  for (std::size_t k = 0; k < subset.size(); ++k) subset_weights_[k] = weights_[subset[k]];
+
+  const auto picks = systematic_resample(rng_, subset_weights_, subset.size());
+
+  // Materialize the resampled hypotheses before overwriting the slots.
+  struct Drawn {
+    Point2 pos;
+    double strength;
+  };
+  std::vector<Drawn> drawn;
+  drawn.reserve(picks.size());
+  std::uint32_t prev = std::numeric_limits<std::uint32_t>::max();
+  for (const auto k : picks) {
+    const auto i = subset[k];
+    Drawn d{positions_[i], strengths_[i]};
+    if (k == prev) {
+      // Duplicated particle: regularization jitter (Gordon et al. [24]).
+      d.pos.x += normal(rng_, 0.0, cfg_.resample_noise_sigma);
+      d.pos.y += normal(rng_, 0.0, cfg_.resample_noise_sigma);
+      d.pos = env_->bounds().clamp(d.pos);
+      if (cfg_.strength_jitter_sigma > 0.0) {
+        d.strength *= std::exp(normal(rng_, 0.0, cfg_.strength_jitter_sigma));
+        d.strength = std::clamp(d.strength, cfg_.strength_min, cfg_.strength_max);
+      }
+    }
+    prev = k;
+    drawn.push_back(d);
+  }
+
+  // Fresh uniform particles for source appearance (Sec. V-E, last para.).
+  for (auto& d : drawn) {
+    if (uniform01(rng_) < cfg_.random_replacement_frac) {
+      d.pos = random_position();
+      d.strength = random_strength();
+    }
+  }
+
+  // Write back with uniform weights that preserve the subset's mass.
+  const double w = subset_mass / static_cast<double>(subset.size());
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    const auto slot = subset[k];
+    positions_[slot] = drawn[k].pos;
+    strengths_[slot] = drawn[k].strength;
+    weights_[slot] = w;
+  }
+}
+
+}  // namespace radloc

@@ -1,0 +1,106 @@
+// The fusion-range particle filter — Sec. V-A, V-B, V-C, V-E of the paper.
+//
+// One filter iteration per measurement:
+//   1. select P' = particles within the reporting sensor's fusion range
+//      (Eq. 5), via the spatial grid index;
+//   2. predict: evolve P' with the movement model (identity for static
+//      sources);
+//   3. weight: w <- P_Poisson(m | particle-as-only-source) * w, with the
+//      single-source rate from Eq. (4) (free space, unless the filter is
+//      configured with known obstacles);
+//   4. merge P'' back and renormalize all weights;
+//   5. resample P'' locally (systematic), jitter duplicates with
+//      N(0, sigma_N), and replace a small fraction with fresh uniform
+//      particles.
+//
+// The state dimension stays 3 regardless of the number of sources; mean-
+// shift (meanshift/) later extracts every source from the particle cloud.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/filter/config.hpp"
+#include "radloc/filter/movement.hpp"
+#include "radloc/filter/particle.hpp"
+#include "radloc/geom/grid_index.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+class FusionParticleFilter {
+ public:
+  /// `sensors` are the known sensor positions/responses (measurements refer
+  /// to them by id); `env` supplies the area bounds, and — only if
+  /// cfg.use_known_obstacles — the obstacle set. Particles are initialized
+  /// uniformly at random (Sec. V-A). The environment must outlive the filter.
+  FusionParticleFilter(const Environment& env, std::vector<Sensor> sensors, FilterConfig cfg,
+                       Rng rng);
+
+  /// Processes one measurement (one filter iteration). Unknown sensor ids
+  /// throw std::invalid_argument. Returns the number of particles updated
+  /// (|P'|); 0 means the fusion range was empty or the update degenerated
+  /// and was skipped.
+  std::size_t process(const Measurement& m);
+
+  /// The same filter iteration for a reading taken at an arbitrary position
+  /// (a MOBILE detector, cf. the controlled-search literature [18]): the
+  /// fusion disk is centered on `at` and the likelihood uses `response`.
+  std::size_t process_reading(const Point2& at, const SensorResponse& response, double cpm);
+
+  /// Number of iterations processed so far (t).
+  [[nodiscard]] std::uint64_t iteration() const { return iteration_; }
+
+  // Particle accessors (struct-of-arrays views; valid until next process()).
+  [[nodiscard]] std::span<const Point2> positions() const { return positions_; }
+  [[nodiscard]] std::span<const double> strengths() const { return strengths_; }
+  [[nodiscard]] std::span<const double> weights() const { return weights_; }
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+
+  /// AoS copy for callers that prefer whole particles.
+  [[nodiscard]] std::vector<Particle> particles() const;
+
+  [[nodiscard]] const FilterConfig& config() const { return cfg_; }
+  [[nodiscard]] std::span<const Sensor> sensors() const { return sensors_; }
+  [[nodiscard]] const Environment& environment() const { return *env_; }
+
+  /// Replaces the movement model (default: StaticMovement).
+  void set_movement_model(std::unique_ptr<MovementModel> model);
+
+  /// Effective number of particles 1 / sum(w^2) — a standard degeneracy
+  /// diagnostic (exposed for tests and ablations).
+  [[nodiscard]] double effective_sample_size() const;
+
+ private:
+  void initialize_particles();
+  [[nodiscard]] double hypothesis_rate(const Point2& at, const SensorResponse& response,
+                                       const Point2& pos, double strength) const;
+  [[nodiscard]] Point2 random_position();
+  [[nodiscard]] double random_strength();
+  void resample_subset(std::span<const std::uint32_t> subset, double subset_mass);
+
+  const Environment* env_;
+  std::vector<Sensor> sensors_;
+  FilterConfig cfg_;
+  Rng rng_;
+
+  std::vector<Point2> positions_;
+  std::vector<double> strengths_;
+  std::vector<double> weights_;
+
+  std::unique_ptr<MovementModel> movement_;
+  GridIndex grid_;
+  bool grid_dirty_ = true;
+  std::uint64_t iteration_ = 0;
+
+  // scratch buffers reused across iterations
+  std::vector<std::uint32_t> subset_;
+  std::vector<double> subset_weights_;
+};
+
+}  // namespace radloc

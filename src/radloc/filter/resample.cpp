@@ -1,0 +1,34 @@
+#include "radloc/filter/resample.hpp"
+
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double> weights,
+                                               std::size_t count) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(total > 0.0, "resampling needs a positive total weight");
+
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  const double step = total / static_cast<double>(count);
+  double pointer = uniform01(rng) * step;
+  double cumulative = weights[0];
+  std::uint32_t i = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    while (cumulative < pointer && i + 1 < weights.size()) {
+      ++i;
+      cumulative += weights[i];
+    }
+    out.push_back(i);
+    pointer += step;
+  }
+  return out;
+}
+
+}  // namespace radloc

@@ -1,0 +1,20 @@
+// Systematic resampling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radloc/rng/rng.hpp"
+
+namespace radloc {
+
+/// Systematic (stratified, single-offset) resampling: draws `count` indices
+/// in [0, weights.size()) with probability proportional to weights[i].
+/// Weights need not be normalized but must be non-negative with a positive
+/// sum. Output indices are non-decreasing.
+[[nodiscard]] std::vector<std::uint32_t> systematic_resample(Rng& rng,
+                                                             std::span<const double> weights,
+                                                             std::size_t count);
+
+}  // namespace radloc

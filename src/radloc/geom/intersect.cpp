@@ -1,0 +1,58 @@
+#include "radloc/geom/intersect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace radloc {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+std::optional<double> segment_intersection_param(const Segment& s1, const Segment& s2) {
+  const Vec2 d1 = s1.b - s1.a;
+  const Vec2 d2 = s2.b - s2.a;
+  const double denom = cross(d1, d2);
+  if (std::abs(denom) < kEps) return std::nullopt;  // parallel or collinear
+  const Vec2 w = s2.a - s1.a;
+  const double t = cross(w, d2) / denom;
+  const double u = cross(w, d1) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) return std::nullopt;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+bool aabb_overlaps_segment(const AreaBounds& box, const Segment& seg) {
+  const double lo_x = std::min(seg.a.x, seg.b.x);
+  const double hi_x = std::max(seg.a.x, seg.b.x);
+  const double lo_y = std::min(seg.a.y, seg.b.y);
+  const double hi_y = std::max(seg.a.y, seg.b.y);
+  return lo_x <= box.max.x && hi_x >= box.min.x && lo_y <= box.max.y && hi_y >= box.min.y;
+}
+
+double chord_length(const Segment& seg, const Polygon& poly) {
+  if (!aabb_overlaps_segment(poly.aabb(), seg)) return 0.0;
+
+  // Collect the crossing parameters along the segment, plus the endpoints,
+  // then classify each sub-interval by its midpoint.
+  std::vector<double> ts;
+  ts.reserve(poly.size() + 2);
+  ts.push_back(0.0);
+  ts.push_back(1.0);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (const auto t = segment_intersection_param(seg, poly.edge(i))) ts.push_back(*t);
+  }
+  std::sort(ts.begin(), ts.end());
+
+  const double seg_len = seg.length();
+  double inside_len = 0.0;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double t0 = ts[i];
+    const double t1 = ts[i + 1];
+    if (t1 - t0 < kEps) continue;
+    if (poly.contains(seg.at(0.5 * (t0 + t1)))) inside_len += (t1 - t0) * seg_len;
+  }
+  return inside_len;
+}
+
+}  // namespace radloc

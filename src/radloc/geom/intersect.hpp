@@ -1,0 +1,28 @@
+// Segment / polygon intersection queries.
+//
+// The radiation model Eq. (3) needs, for each sensor-source pair, the total
+// thickness of each obstacle along the straight path. That is the length of
+// the chord(s) of the segment inside the polygon, computed here.
+#pragma once
+
+#include <optional>
+
+#include "radloc/geom/polygon.hpp"
+#include "radloc/geom/segment.hpp"
+
+namespace radloc {
+
+/// Intersection point parameters of two segments, if they properly intersect
+/// (returns the parameter along `s1`). Collinear overlaps return nullopt.
+[[nodiscard]] std::optional<double> segment_intersection_param(const Segment& s1,
+                                                               const Segment& s2);
+
+/// Total length of `seg` lying inside `poly` (sum over all chords; the
+/// polygon may be non-convex). Endpoints inside the polygon are handled.
+/// This is the `l_b` of Eq. (3): the material thickness traversed.
+[[nodiscard]] double chord_length(const Segment& seg, const Polygon& poly);
+
+/// Fast conservative reject: does the segment's AABB overlap the polygon's?
+[[nodiscard]] bool aabb_overlaps_segment(const AreaBounds& box, const Segment& seg);
+
+}  // namespace radloc

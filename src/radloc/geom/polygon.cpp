@@ -1,0 +1,70 @@
+#include "radloc/geom/polygon.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+Polygon::Polygon(std::vector<Point2> vertices) : vertices_(std::move(vertices)) {
+  require(vertices_.size() >= 3, "polygon needs at least 3 vertices");
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  for (const auto& v : vertices_) {
+    min_x = std::min(min_x, v.x);
+    min_y = std::min(min_y, v.y);
+    max_x = std::max(max_x, v.x);
+    max_y = std::max(max_y, v.y);
+  }
+  aabb_ = AreaBounds{Point2{min_x, min_y}, Point2{max_x, max_y}};
+}
+
+bool Polygon::contains(const Point2& p) const {
+  if (!aabb_.contains(p)) return false;
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point2& vi = vertices_[i];
+    const Point2& vj = vertices_[j];
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_at = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::signed_area() const {
+  double acc = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += cross(vertices_[j], vertices_[i]);
+  }
+  return 0.5 * acc;
+}
+
+Polygon make_rect(double x0, double y0, double x1, double y1) {
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+Polygon make_u_shape(double x0, double y0, double x1, double y1, double thickness) {
+  require(x1 - x0 > 2.0 * thickness && y1 - y0 > thickness,
+          "u-shape walls thicker than the outline");
+  // Outline traced counter-clockwise, notch cut from the top edge.
+  return Polygon({
+      {x0, y0},
+      {x1, y0},
+      {x1, y1},
+      {x1 - thickness, y1},
+      {x1 - thickness, y0 + thickness},
+      {x0 + thickness, y0 + thickness},
+      {x0 + thickness, y1},
+      {x0, y1},
+  });
+}
+
+}  // namespace radloc

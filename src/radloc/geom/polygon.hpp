@@ -1,0 +1,52 @@
+// Simple polygons. Obstacles in radloc are simple (possibly non-convex)
+// polygons of homogeneous material; the U-shaped obstacle of the paper's
+// Scenario A is one polygon.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/geom/segment.hpp"
+
+namespace radloc {
+
+/// A simple polygon (no self-intersections; either winding order).
+/// Invariant: at least 3 vertices. Enforced at construction.
+class Polygon {
+ public:
+  /// Throws std::invalid_argument if fewer than 3 vertices are given.
+  explicit Polygon(std::vector<Point2> vertices);
+
+  [[nodiscard]] const std::vector<Point2>& vertices() const { return vertices_; }
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+
+  /// Edge i connects vertex i to vertex (i+1) mod n.
+  [[nodiscard]] Segment edge(std::size_t i) const {
+    return Segment{vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+  }
+
+  /// Even-odd (crossing-number) point containment; points exactly on the
+  /// boundary may report either value (irrelevant at simulation tolerances).
+  [[nodiscard]] bool contains(const Point2& p) const;
+
+  /// Tight axis-aligned bounding box.
+  [[nodiscard]] const AreaBounds& aabb() const { return aabb_; }
+
+  /// Signed area (positive for counter-clockwise winding).
+  [[nodiscard]] double signed_area() const;
+
+ private:
+  std::vector<Point2> vertices_;
+  AreaBounds aabb_;
+};
+
+/// Axis-aligned rectangle polygon [x0,x1] x [y0,y1].
+[[nodiscard]] Polygon make_rect(double x0, double y0, double x1, double y1);
+
+/// A U-shaped (upward-opening) polygon: outer rectangle [x0,x1] x [y0,y1]
+/// with a rectangular notch of the given wall `thickness` cut downward from
+/// the top edge. Matches the paper's Scenario A obstacle shape.
+[[nodiscard]] Polygon make_u_shape(double x0, double y0, double x1, double y1, double thickness);
+
+}  // namespace radloc

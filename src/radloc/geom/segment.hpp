@@ -1,0 +1,20 @@
+// Line segments, the building block for ray-tracing radiation paths.
+#pragma once
+
+#include "radloc/common/types.hpp"
+
+namespace radloc {
+
+struct Segment {
+  Point2 a;
+  Point2 b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  [[nodiscard]] constexpr Point2 at(double t) const { return a + t * (b - a); }
+
+  friend constexpr bool operator==(const Segment&, const Segment&) = default;
+};
+
+}  // namespace radloc

@@ -1,0 +1,96 @@
+#include "radloc/geom/shapes.hpp"
+
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+Polygon make_regular_polygon(const Point2& c, double r, std::size_t n) {
+  require(n >= 3, "regular polygon needs at least 3 vertices");
+  require(r > 0.0, "regular polygon radius must be positive");
+  std::vector<Point2> vertices;
+  vertices.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2.0 * kPi * static_cast<double>(i) / static_cast<double>(n);
+    vertices.push_back(Point2{c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return Polygon(std::move(vertices));
+}
+
+Polygon make_l_shape(double x0, double y0, double x1, double y1, double t_h, double t_v) {
+  require(x1 - x0 > t_v && y1 - y0 > t_h, "L-shape arms thicker than the outline");
+  require(t_h > 0.0 && t_v > 0.0, "L-shape arm thicknesses must be positive");
+  return Polygon({
+      {x0, y0},
+      {x1, y0},
+      {x1, y0 + t_h},
+      {x0 + t_v, y0 + t_h},
+      {x0 + t_v, y1},
+      {x0, y1},
+  });
+}
+
+Polygon make_wall(const Point2& a, const Point2& b, double thickness) {
+  require(thickness > 0.0, "wall thickness must be positive");
+  const Vec2 dir = b - a;
+  const double len = norm(dir);
+  require(len > 0.0, "wall endpoints must differ");
+  const Vec2 n{-dir.y / len * 0.5 * thickness, dir.x / len * 0.5 * thickness};
+  return Polygon({a - n, b - n, b + n, a + n});
+}
+
+Polygon translated(const Polygon& p, const Vec2& offset) {
+  std::vector<Point2> vertices;
+  vertices.reserve(p.size());
+  for (const auto& v : p.vertices()) vertices.push_back(v + offset);
+  return Polygon(std::move(vertices));
+}
+
+Polygon rotated(const Polygon& p, double radians, const Point2& pivot) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  std::vector<Point2> vertices;
+  vertices.reserve(p.size());
+  for (const auto& v : p.vertices()) {
+    const Vec2 d = v - pivot;
+    vertices.push_back(Point2{pivot.x + c * d.x - s * d.y, pivot.y + s * d.x + c * d.y});
+  }
+  return Polygon(std::move(vertices));
+}
+
+Point2 centroid(const Polygon& p) {
+  // Standard area-weighted centroid (shoelace form).
+  double area2 = 0.0;
+  Point2 acc{0.0, 0.0};
+  const auto& v = p.vertices();
+  const std::size_t n = v.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double w = cross(v[j], v[i]);
+    area2 += w;
+    acc += w * (v[j] + v[i]);
+  }
+  require(area2 != 0.0, "degenerate polygon has no centroid");
+  return (1.0 / (3.0 * area2)) * acc;
+}
+
+bool is_convex(const Polygon& p) {
+  const auto& v = p.vertices();
+  const std::size_t n = v.size();
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 e1 = v[(i + 1) % n] - v[i];
+    const Vec2 e2 = v[(i + 2) % n] - v[(i + 1) % n];
+    const double c = cross(e1, e2);
+    if (c == 0.0) continue;  // collinear edge pair
+    const int s = c > 0.0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radloc

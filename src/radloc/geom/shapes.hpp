@@ -1,0 +1,41 @@
+// Polygon factories for common deployment geometry.
+//
+// Obstacles in radloc are polygons; these helpers build the shapes a real
+// deployment meets — walls, L-shaped buildings, circular pillars/tanks —
+// plus affine transforms to place them.
+#pragma once
+
+#include <cstddef>
+
+#include "radloc/geom/polygon.hpp"
+
+namespace radloc {
+
+/// Regular n-gon approximating a disc of radius `r` centered at `c` (used
+/// for circular pillars and tanks; n >= 8 keeps the chord-length error
+/// below ~2% of r). Throws for n < 3 or r <= 0.
+[[nodiscard]] Polygon make_regular_polygon(const Point2& c, double r, std::size_t n);
+
+/// L-shaped polygon: the union of a horizontal arm [x0,x1] x [y0, y0+t_h]
+/// and a vertical arm [x0, x0+t_v] x [y0, y1]. Arms may have different
+/// thicknesses ("uneven thickness" obstacles of the paper's Scenario B).
+[[nodiscard]] Polygon make_l_shape(double x0, double y0, double x1, double y1, double t_h,
+                                   double t_v);
+
+/// A thin wall from `a` to `b` of the given `thickness` (an oriented
+/// rectangle). Throws if a == b or thickness <= 0.
+[[nodiscard]] Polygon make_wall(const Point2& a, const Point2& b, double thickness);
+
+/// The polygon translated by `offset`.
+[[nodiscard]] Polygon translated(const Polygon& p, const Vec2& offset);
+
+/// The polygon rotated by `radians` around `pivot`.
+[[nodiscard]] Polygon rotated(const Polygon& p, double radians, const Point2& pivot);
+
+/// Polygon centroid (area-weighted).
+[[nodiscard]] Point2 centroid(const Polygon& p);
+
+/// True when every interior angle turns the same way (convex outline).
+[[nodiscard]] bool is_convex(const Polygon& p);
+
+}  // namespace radloc

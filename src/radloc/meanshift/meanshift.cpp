@@ -1,0 +1,175 @@
+#include "radloc/meanshift/meanshift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+MeanShiftEstimator::MeanShiftEstimator(const AreaBounds& bounds, MeanShiftConfig cfg,
+                                       ThreadPool& pool)
+    : cfg_(cfg), pool_(&pool), grid_(bounds, std::max(cfg.bandwidth_xy, 1.0)) {
+  require(cfg_.bandwidth_xy > 0.0, "spatial bandwidth must be positive");
+  require(cfg_.bandwidth_log_strength > 0.0, "strength bandwidth must be positive");
+  require(cfg_.max_seeds > 0, "need at least one seed");
+  require(cfg_.min_support >= 0.0 && cfg_.min_support <= 1.0, "min_support must be in [0,1]");
+}
+
+std::vector<std::uint32_t> MeanShiftEstimator::select_seeds(
+    std::span<const Point2> positions, std::span<const double> weights) const {
+  // Deterministic stratified sampling proportional to weight: draw several
+  // strata per requested seed, then thin by spatial separation. Mass-heavy
+  // regions receive seeds in proportion to their mass, so every cluster
+  // whose basin holds >~ 1/(4*max_seeds) of the weight is seeded. (Ranking
+  // particles by weight would be wrong: local resampling leaves weights
+  // near-uniform and the ranking would sort floating-point noise.)
+  double total = 0.0;
+  for (const double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return {};
+
+  const std::size_t strata = std::max<std::size_t>(4 * cfg_.max_seeds, 256);
+  std::vector<std::uint32_t> seeds;
+  const double sep2 = square(cfg_.seed_separation);
+  const double step = total / static_cast<double>(strata);
+
+  double cumulative = 0.0;
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < strata && seeds.size() < cfg_.max_seeds; ++j) {
+    const double target = (static_cast<double>(j) + 0.5) * step;
+    while (i + 1 < weights.size() && cumulative + std::max(weights[i], 0.0) < target) {
+      cumulative += std::max(weights[i], 0.0);
+      ++i;
+    }
+    bool far_enough = true;
+    for (const auto s : seeds) {
+      if (distance2(positions[i], positions[s]) < sep2) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) seeds.push_back(static_cast<std::uint32_t>(i));
+  }
+  return seeds;
+}
+
+MeanShiftEstimator::Mode MeanShiftEstimator::ascend(std::span<const Point2> positions,
+                                                    std::span<const double> strengths,
+                                                    std::span<const double> weights,
+                                                    Point2 seed_pos,
+                                                    double seed_log_strength) const {
+  const double h2 = square(cfg_.bandwidth_xy);
+  const double hs2 = square(cfg_.bandwidth_log_strength);
+  const double radius = 3.0 * cfg_.bandwidth_xy;
+
+  Point2 x = seed_pos;
+  double s = seed_log_strength;
+  double density = 0.0;
+  const bool gaussian = cfg_.kernel == KernelType::kGaussian;
+
+  for (std::size_t iter = 0; iter < cfg_.max_iterations; ++iter) {
+    Point2 num_pos{0.0, 0.0};
+    double num_s = 0.0;
+    double denom = 0.0;
+    grid_.for_each_in_radius(positions, x, radius, [&](std::uint32_t i) {
+      const double w = weights[i];
+      if (w <= 0.0) return;
+      const double ls = std::log(strengths[i]);
+      const double e = 0.5 * (distance2(positions[i], x) / h2 + square(ls - s) / hs2);
+      // Gaussian profile exp(-e), or the Epanechnikov profile 1 - e/4.5
+      // (parabola hitting zero at the same 3-sigma truncation edge).
+      const double k = w * (gaussian ? std::exp(-e) : std::max(0.0, 1.0 - e / 4.5));
+      num_pos += k * positions[i];
+      num_s += k * ls;
+      denom += k;
+    });
+    if (denom <= 0.0) return Mode{x, s, 0.0};  // seed stranded in empty space
+
+    const Point2 new_pos = (1.0 / denom) * num_pos;
+    const double new_s = num_s / denom;
+    const double shift =
+        distance(new_pos, x) + cfg_.bandwidth_xy / cfg_.bandwidth_log_strength * std::abs(new_s - s);
+    x = new_pos;
+    s = new_s;
+    density = denom;
+    if (shift < cfg_.convergence_eps) break;
+  }
+  return Mode{x, s, density};
+}
+
+std::vector<SourceEstimate> MeanShiftEstimator::estimate(std::span<const Point2> positions,
+                                                         std::span<const double> strengths,
+                                                         std::span<const double> weights) {
+  require(positions.size() == strengths.size() && positions.size() == weights.size(),
+          "positions/strengths/weights must have equal length");
+  if (positions.empty()) return {};
+  const double total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total_weight <= 0.0) return {};
+
+  grid_.rebuild(positions);
+
+  const auto seeds = select_seeds(positions, weights);
+  std::vector<Mode> modes(seeds.size());
+  pool_->for_each_index(seeds.size(), [&](std::size_t k) {
+    const auto i = seeds[k];
+    modes[k] = ascend(positions, strengths, weights, positions[i], std::log(strengths[i]));
+  });
+
+  // Merge converged points: keep the densest representative of each cluster.
+  std::sort(modes.begin(), modes.end(),
+            [](const Mode& a, const Mode& b) { return a.density > b.density; });
+  std::vector<Mode> kept;
+  const double merge2 = square(cfg_.merge_radius);
+  for (const auto& m : modes) {
+    if (m.density <= 0.0) continue;
+    bool is_new = true;
+    for (const auto& k : kept) {
+      if (distance2(m.pos, k.pos) < merge2) {
+        is_new = false;
+        break;
+      }
+    }
+    if (is_new) kept.push_back(m);
+  }
+
+  // Basin support: each particle contributes its weight to the nearest mode
+  // within the kernel's reach (approximate basin assignment — exact basins
+  // would need a full ascent per particle).
+  const double assign_radius2 = square(std::max(cfg_.merge_radius, 2.0 * cfg_.bandwidth_xy));
+  const double core_radius2 = square(cfg_.bandwidth_xy);
+  std::vector<double> support(kept.size(), 0.0);
+  std::vector<double> core(kept.size(), 0.0);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    double best_d2 = assign_radius2;
+    std::size_t best = kept.size();
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      const double d2 = distance2(positions[i], kept[k].pos);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = k;
+      }
+    }
+    if (best < kept.size()) {
+      support[best] += weights[i];
+      if (best_d2 <= core_radius2) core[best] += weights[i];
+    }
+  }
+
+  std::vector<SourceEstimate> out;
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const double frac = support[k] / total_weight;
+    if (frac < cfg_.min_support) continue;
+    // Tightness separates a converged cluster from a patch of diffuse cloud
+    // that happens to clear the mass threshold.
+    const double tightness = core[k] / support[k];
+    if (tightness < cfg_.min_tightness) continue;
+    out.push_back(SourceEstimate{kept[k].pos, std::exp(kept[k].log_strength), frac});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceEstimate& a, const SourceEstimate& b) { return a.support > b.support; });
+  return out;
+}
+
+}  // namespace radloc

@@ -1,0 +1,110 @@
+#include "radloc/optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& opts) {
+  const std::size_t dim = x0.size();
+  require(dim > 0, "nelder_mead needs at least one dimension");
+
+  struct Vertex {
+    std::vector<double> x;
+    double fx;
+  };
+
+  std::size_t evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Initial simplex: x0 plus one offset vertex per coordinate.
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back(Vertex{x0, eval(x0)});
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto x = x0;
+    x[d] += opts.initial_step;
+    simplex.push_back(Vertex{x, eval(x)});
+  }
+
+  auto by_value = [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; };
+  std::sort(simplex.begin(), simplex.end(), by_value);
+
+  std::vector<double> centroid(dim), candidate(dim);
+  bool converged = false;
+
+  auto diameter = [&] {
+    double d = 0.0;
+    for (std::size_t v = 1; v <= dim; ++v) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        d = std::max(d, std::abs(simplex[v].x[c] - simplex[0].x[c]));
+      }
+    }
+    return d;
+  };
+
+  while (evals < opts.max_evaluations) {
+    // Both the value spread AND the simplex extent must be small: a simplex
+    // straddling a minimum symmetrically has zero f-spread but is not done.
+    if (simplex.back().fx - simplex.front().fx < opts.tolerance &&
+        diameter() < opts.x_tolerance) {
+      converged = true;
+      break;
+    }
+
+    // Centroid of all vertices except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t v = 0; v < dim; ++v) {
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[v].x[d];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(dim);
+
+    Vertex& worst = simplex.back();
+    auto blend = [&](double coeff) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        candidate[d] = centroid[d] + coeff * (centroid[d] - worst.x[d]);
+      }
+    };
+
+    blend(opts.reflection);
+    const double f_reflect = eval(candidate);
+    if (f_reflect < simplex.front().fx) {
+      const auto reflected = candidate;
+      blend(opts.expansion);
+      const double f_expand = eval(candidate);
+      if (f_expand < f_reflect) {
+        worst = Vertex{candidate, f_expand};
+      } else {
+        worst = Vertex{reflected, f_reflect};
+      }
+    } else if (f_reflect < simplex[dim - 1].fx) {
+      worst = Vertex{candidate, f_reflect};
+    } else {
+      blend(f_reflect < worst.fx ? opts.contraction : -opts.contraction);
+      const double f_contract = eval(candidate);
+      if (f_contract < std::min(f_reflect, worst.fx)) {
+        worst = Vertex{candidate, f_contract};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= dim; ++v) {
+          for (std::size_t d = 0; d < dim; ++d) {
+            simplex[v].x[d] =
+                simplex[0].x[d] + opts.shrink * (simplex[v].x[d] - simplex[0].x[d]);
+          }
+          simplex[v].fx = eval(simplex[v].x);
+        }
+      }
+    }
+    std::sort(simplex.begin(), simplex.end(), by_value);
+  }
+
+  return NelderMeadResult{simplex.front().x, simplex.front().fx, evals, converged};
+}
+
+}  // namespace radloc

@@ -1,0 +1,40 @@
+// Nelder-Mead simplex minimizer.
+//
+// Substrate for the MLE baseline (baselines/mle.*): existing multi-source
+// localizers minimize the negative log-likelihood over 3K continuous
+// parameters, which is exactly what this derivative-free optimizer does.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace radloc {
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 5000;
+  double tolerance = 1e-7;     ///< stop when the simplex f-spread is below this
+  double x_tolerance = 1e-6;   ///< ...and its diameter is below this (guards
+                               ///< against symmetric stalls around a minimum)
+  double initial_step = 1.0;   ///< per-coordinate offset building the simplex
+  // Standard coefficients (Nelder & Mead 1965).
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;        ///< best point found
+  double value = 0.0;           ///< f(x)
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `x0`. `f` must be callable on any point in
+/// R^dim; constraints are the caller's job (penalty or reparameterization).
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
+    const NelderMeadOptions& opts = {});
+
+}  // namespace radloc

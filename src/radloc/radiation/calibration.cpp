@@ -1,0 +1,79 @@
+#include "radloc/radiation/calibration.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+CalibrationResult calibrate_sensors(const Environment& env, std::span<const Sensor> sensors,
+                                    std::span<const CalibrationSession> sessions) {
+  require(!sensors.empty(), "calibration needs sensors");
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  CalibrationResult result;
+  result.efficiency.assign(sensors.size(), nan);
+  result.background_cpm.assign(sensors.size(), nan);
+
+  // Pass 1: background from source-free sessions (plain Poisson MLE: the
+  // mean reading).
+  std::vector<double> bg_sum(sensors.size(), 0.0);
+  std::vector<std::size_t> bg_n(sensors.size(), 0);
+  for (const auto& session : sessions) {
+    if (!session.sources.empty()) continue;
+    for (const auto& m : session.readings) {
+      require(m.sensor < sensors.size(), "calibration reading from unknown sensor");
+      bg_sum[m.sensor] += m.cpm;
+      ++bg_n[m.sensor];
+    }
+  }
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    if (bg_n[i] > 0) result.background_cpm[i] = bg_sum[i] / static_cast<double>(bg_n[i]);
+  }
+
+  // Pass 2: efficiency from check-source sessions. For sensor i with
+  // per-session source intensity g_s = 2.22e6 * sum_j I(S_i, A_j), the
+  // Poisson MLE of E pools sessions: E = sum(readings - B) / sum(n_s * g_s).
+  std::vector<double> num(sensors.size(), 0.0);
+  std::vector<double> den(sensors.size(), 0.0);
+  for (const auto& session : sessions) {
+    if (session.sources.empty()) continue;
+    std::vector<double> g(sensors.size(), 0.0);
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      double intensity_sum = 0.0;
+      for (const auto& src : session.sources) {
+        intensity_sum += intensity(sensors[i].pos, src, env);
+      }
+      g[i] = kMicroCurieToCpm * intensity_sum;
+    }
+    for (const auto& m : session.readings) {
+      require(m.sensor < sensors.size(), "calibration reading from unknown sensor");
+      const double bg = !std::isnan(result.background_cpm[m.sensor])
+                            ? result.background_cpm[m.sensor]
+                            : sensors[m.sensor].response.background_cpm;
+      num[m.sensor] += m.cpm - bg;
+      den[m.sensor] += g[m.sensor];
+    }
+  }
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    if (den[i] > 0.0) {
+      result.efficiency[i] = std::max(num[i] / den[i], 0.0);
+      if (!std::isnan(result.background_cpm[i])) ++result.sensors_calibrated;
+    }
+  }
+  return result;
+}
+
+void apply_calibration(std::vector<Sensor>& sensors, const CalibrationResult& result) {
+  require(sensors.size() == result.efficiency.size(), "calibration size mismatch");
+  for (auto& s : sensors) {
+    if (!std::isnan(result.efficiency[s.id])) s.response.efficiency = result.efficiency[s.id];
+    if (!std::isnan(result.background_cpm[s.id])) {
+      s.response.background_cpm = result.background_cpm[s.id];
+    }
+  }
+}
+
+}  // namespace radloc

@@ -1,0 +1,46 @@
+// Sensor efficiency calibration — the procedure the paper cites from
+// Chin et al. (SenSys 2008) to obtain E_i.
+//
+// A check source of known strength is placed at a known position; each
+// sensor collects readings. From Eq. (4),
+//   E_i = (mean_cpm_i - B_i) / (2.22e6 * I(S_i, A)),
+// with a maximum-likelihood pooled estimate when several sessions (source
+// positions) are available. Background B_i itself can be calibrated from a
+// source-free session.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radloc/radiation/environment.hpp"
+#include "radloc/radiation/source.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// One calibration session: readings collected while a known check source
+/// (or none, for background calibration) was present.
+struct CalibrationSession {
+  std::vector<Source> sources;          ///< known check sources (may be empty)
+  std::vector<Measurement> readings;    ///< raw readings during the session
+};
+
+struct CalibrationResult {
+  std::vector<double> efficiency;       ///< per sensor; NaN when unobserved
+  std::vector<double> background_cpm;   ///< per sensor; NaN when unobserved
+  std::size_t sensors_calibrated = 0;
+};
+
+/// Estimates per-sensor background from source-free sessions and efficiency
+/// from check-source sessions. Sessions with sources contribute to
+/// efficiency; sessions without contribute to background. A sensor needs at
+/// least one reading of each kind to be fully calibrated. `env` provides
+/// the obstacle model for the check-source geometry.
+[[nodiscard]] CalibrationResult calibrate_sensors(const Environment& env,
+                                                  std::span<const Sensor> sensors,
+                                                  std::span<const CalibrationSession> sessions);
+
+/// Applies a calibration result onto the sensor array (skips NaN entries).
+void apply_calibration(std::vector<Sensor>& sensors, const CalibrationResult& result);
+
+}  // namespace radloc

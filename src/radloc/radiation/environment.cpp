@@ -1,0 +1,23 @@
+#include "radloc/radiation/environment.hpp"
+
+#include <cmath>
+
+#include "radloc/geom/intersect.hpp"
+
+namespace radloc {
+
+double Environment::path_attenuation(const Segment& seg) const {
+  double acc = 0.0;
+  for (const auto& obstacle : obstacles_) {
+    const double l = chord_length(seg, obstacle.shape());
+    if (l > 0.0) acc += obstacle.mu() * l;
+  }
+  return acc;
+}
+
+double Environment::transmission(const Segment& seg) const {
+  const double a = path_attenuation(seg);
+  return a > 0.0 ? std::exp(-a) : 1.0;
+}
+
+}  // namespace radloc

@@ -1,0 +1,43 @@
+// The physical surveillance environment: bounds + obstacles.
+//
+// The *simulator* always knows the environment; the *localizer* deliberately
+// does not (the paper's complex-environment setting). Keeping the obstacle
+// set behind this type makes that asymmetry explicit in signatures.
+#pragma once
+
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/geom/segment.hpp"
+#include "radloc/radiation/obstacle.hpp"
+
+namespace radloc {
+
+class Environment {
+ public:
+  explicit Environment(AreaBounds bounds, std::vector<Obstacle> obstacles = {})
+      : bounds_(bounds), obstacles_(std::move(obstacles)) {}
+
+  [[nodiscard]] const AreaBounds& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+  [[nodiscard]] bool has_obstacles() const { return !obstacles_.empty(); }
+
+  void add_obstacle(Obstacle o) { obstacles_.push_back(std::move(o)); }
+
+  /// Sum over obstacles of mu_b * l_b along the straight path `seg` — the
+  /// exponent of Eq. (3). Zero when the path is unobstructed.
+  [[nodiscard]] double path_attenuation(const Segment& seg) const;
+
+  /// exp(-path_attenuation): the fraction of intensity surviving the path.
+  [[nodiscard]] double transmission(const Segment& seg) const;
+
+  /// An identical environment with the obstacles removed (for the paper's
+  /// with/without-obstacle comparisons).
+  [[nodiscard]] Environment without_obstacles() const { return Environment(bounds_); }
+
+ private:
+  AreaBounds bounds_;
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace radloc

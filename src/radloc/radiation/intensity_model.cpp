@@ -1,0 +1,40 @@
+#include "radloc/radiation/intensity_model.hpp"
+
+#include <cmath>
+
+namespace radloc {
+
+double free_space_intensity(const Point2& x, const Source& src) {
+  return src.strength / (1.0 + distance2(x, src.pos));
+}
+
+double shielded_intensity(double strength, double mu, double l) {
+  return strength * std::exp(-mu * l);
+}
+
+double intensity(const Point2& x, const Source& src, const Environment& env) {
+  const double fs = free_space_intensity(x, src);
+  if (!env.has_obstacles()) return fs;
+  return fs * env.transmission(Segment{x, src.pos});
+}
+
+double expected_cpm(const Point2& at, std::span<const Source> sources, const Environment& env,
+                    const SensorResponse& response) {
+  double sum = 0.0;
+  for (const auto& src : sources) sum += intensity(at, src, env);
+  return kMicroCurieToCpm * response.efficiency * sum + response.background_cpm;
+}
+
+double expected_cpm_single(const Point2& at, const Source& hypothesis, const Environment& env,
+                           const SensorResponse& response) {
+  return kMicroCurieToCpm * response.efficiency * intensity(at, hypothesis, env) +
+         response.background_cpm;
+}
+
+double expected_cpm_single_free_space(const Point2& at, const Source& hypothesis,
+                                      const SensorResponse& response) {
+  return kMicroCurieToCpm * response.efficiency * free_space_intensity(at, hypothesis) +
+         response.background_cpm;
+}
+
+}  // namespace radloc

@@ -1,0 +1,48 @@
+// The radiation intensity models of Sec. III, Eqs. (1)-(4).
+#pragma once
+
+#include <span>
+
+#include "radloc/common/types.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/radiation/source.hpp"
+
+namespace radloc {
+
+/// micro-Curie -> counts-per-minute conversion constant of Eq. (4).
+inline constexpr double kMicroCurieToCpm = 2.22e6;
+
+/// Eq. (1): free-space intensity of `src` at `x`:
+///   I_FS = A_str / (1 + |x - A_pos|^2).
+[[nodiscard]] double free_space_intensity(const Point2& x, const Source& src);
+
+/// Eq. (2): intensity after passing through thickness `l` of material with
+/// attenuation coefficient `mu`: A_str * exp(-mu * l).
+[[nodiscard]] double shielded_intensity(double strength, double mu, double l);
+
+/// Eq. (3): combined free-space + obstacle model — free-space fading times
+/// the transmission of the straight path from source to `x`.
+[[nodiscard]] double intensity(const Point2& x, const Source& src, const Environment& env);
+
+/// Per-sensor measurement-model parameters of Eq. (4).
+struct SensorResponse {
+  double efficiency = 1.0;      ///< counting efficiency E_i (unitless)
+  double background_cpm = 0.0;  ///< background rate B_i (CPM)
+};
+
+/// Eq. (4): expected CPM at location `at` for the full source set:
+///   I_i = 2.22e6 * E_i * sum_j I(S_i, A_j) + B_i.
+[[nodiscard]] double expected_cpm(const Point2& at, std::span<const Source> sources,
+                                  const Environment& env, const SensorResponse& response);
+
+/// Eq. (4) restricted to a single hypothesized source — the particle
+/// weighting model of Sec. V-C (each particle explains the reading alone).
+[[nodiscard]] double expected_cpm_single(const Point2& at, const Source& hypothesis,
+                                         const Environment& env, const SensorResponse& response);
+
+/// Free-space-only variant used by the obstacle-agnostic localizer: the
+/// environment's obstacles are deliberately ignored.
+[[nodiscard]] double expected_cpm_single_free_space(const Point2& at, const Source& hypothesis,
+                                                    const SensorResponse& response);
+
+}  // namespace radloc

@@ -1,0 +1,45 @@
+#include "radloc/radiation/materials.hpp"
+
+#include <cmath>
+
+namespace radloc {
+
+double attenuation_coefficient(Material m) {
+  // Linear attenuation at 1 MeV, mu = (mu/rho) * rho with mass coefficients
+  // from Hubbell-style tables and nominal densities.
+  switch (m) {
+    case Material::kLead:     return 0.776;   // rho 11.35, mu/rho 0.0684
+    case Material::kSteel:    return 0.469;   // rho 7.87,  mu/rho 0.0596
+    case Material::kConcrete: return 0.1295;  // rho 2.30,  mu/rho 0.0563 -> ~6x weaker than lead
+    case Material::kBrick:    return 0.102;
+    case Material::kWater:    return 0.0707;
+    case Material::kWood:     return 0.029;
+    case Material::kGlass:    return 0.130;
+    case Material::kAluminum: return 0.166;   // rho 2.70,  mu/rho 0.0614
+    case Material::kPaperU:   return 0.0693;  // halves intensity per 10 length units
+  }
+  return 0.0;  // unreachable for valid enumerators
+}
+
+std::string_view material_name(Material m) {
+  switch (m) {
+    case Material::kLead:     return "lead";
+    case Material::kSteel:    return "steel";
+    case Material::kConcrete: return "concrete";
+    case Material::kBrick:    return "brick";
+    case Material::kWater:    return "water";
+    case Material::kWood:     return "wood";
+    case Material::kGlass:    return "glass";
+    case Material::kAluminum: return "aluminum";
+    case Material::kPaperU:   return "paper-synthetic";
+  }
+  return "unknown";
+}
+
+double half_value_layer(Material m) { return std::log(2.0) / attenuation_coefficient(m); }
+
+double equivalent_thickness(Material a, double ta, Material b) {
+  return ta * attenuation_coefficient(a) / attenuation_coefficient(b);
+}
+
+}  // namespace radloc

@@ -1,0 +1,38 @@
+// Gamma attenuation coefficients for common shielding materials.
+//
+// The paper cites Hubbell's NSRDS-NBS 29 tables. We embed linear attenuation
+// coefficients mu (per cm) at 1 MeV photon energy — the energy the paper's
+// footnote fixes — for the materials a deployment is likely to meet. Only
+// the product mu * thickness enters Eq. (2)/(3), so a small table suffices.
+#pragma once
+
+#include <string_view>
+
+namespace radloc {
+
+enum class Material {
+  kLead,
+  kSteel,
+  kConcrete,
+  kBrick,
+  kWater,
+  kWood,
+  kGlass,
+  kAluminum,
+  kPaperU,  ///< the paper's synthetic obstacle material, mu = 0.0693 /cm
+};
+
+/// Linear attenuation coefficient (1/cm) at 1 MeV.
+[[nodiscard]] double attenuation_coefficient(Material m);
+
+[[nodiscard]] std::string_view material_name(Material m);
+
+/// Thickness (cm) of material `m` that halves 1 MeV gamma intensity:
+/// ln(2) / mu.
+[[nodiscard]] double half_value_layer(Material m);
+
+/// Thickness of `b` delivering the same attenuation as `ta` cm of `a`.
+/// E.g. equivalent_thickness(kLead, 1.0, kConcrete) ~ 6 cm (paper Sec. III).
+[[nodiscard]] double equivalent_thickness(Material a, double ta, Material b);
+
+}  // namespace radloc

@@ -1,0 +1,26 @@
+// An obstacle: a homogeneous-material polygon that attenuates gamma rays.
+#pragma once
+
+#include <utility>
+
+#include "radloc/geom/polygon.hpp"
+#include "radloc/radiation/materials.hpp"
+
+namespace radloc {
+
+class Obstacle {
+ public:
+  Obstacle(Polygon shape, double mu) : shape_(std::move(shape)), mu_(mu) {}
+  Obstacle(Polygon shape, Material m) : Obstacle(std::move(shape), attenuation_coefficient(m)) {}
+
+  [[nodiscard]] const Polygon& shape() const { return shape_; }
+
+  /// Linear attenuation coefficient mu_b of Eq. (3), per length unit.
+  [[nodiscard]] double mu() const { return mu_; }
+
+ private:
+  Polygon shape_;
+  double mu_;
+};
+
+}  // namespace radloc

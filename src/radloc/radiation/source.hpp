@@ -1,0 +1,15 @@
+// Radiation point source — the A_j = <x, y, strength> of Sec. III.
+#pragma once
+
+#include "radloc/common/types.hpp"
+
+namespace radloc {
+
+struct Source {
+  Point2 pos;             ///< position, length units
+  double strength = 0.0;  ///< micro-Curies (> 0 for a physical source)
+
+  friend constexpr bool operator==(const Source&, const Source&) = default;
+};
+
+}  // namespace radloc

@@ -1,0 +1,94 @@
+#include "radloc/rng/distributions.hpp"
+
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+double uniform01(Rng& rng) {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double uniform(Rng& rng, double lo, double hi) { return lo + (hi - lo) * uniform01(rng); }
+
+std::uint64_t uniform_index(Rng& rng, std::uint64_t n) {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = rng();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = rng();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Point2 uniform_point(Rng& rng, const AreaBounds& area) {
+  return Point2{uniform(rng, area.min.x, area.max.x), uniform(rng, area.min.y, area.max.y)};
+}
+
+double normal(Rng& rng, double mean, double stddev) {
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01(rng) - 1.0;
+    v = 2.0 * uniform01(rng) - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double exponential(Rng& rng, double lambda) {
+  return -std::log(1.0 - uniform01(rng)) / lambda;
+}
+
+namespace {
+
+std::uint64_t poisson_knuth(Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform01(rng);
+  } while (p > limit);
+  return k - 1;
+}
+
+// PTRS: W. Hoermann, "The transformed rejection method for generating Poisson
+// random variables" (1993). Valid for lambda >= 10; we use it from 30 up.
+std::uint64_t poisson_ptrs(Rng& rng, double lambda) {
+  const double log_lambda = std::log(lambda);
+  const double b = 0.931 + 2.53 * std::sqrt(lambda);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+  for (;;) {
+    const double u = uniform01(rng) - 0.5;
+    const double v = uniform01(rng);
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + lambda + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * log_lambda - lambda - log_factorial(k)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t poisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) return poisson_knuth(rng, lambda);
+  return poisson_ptrs(rng, lambda);
+}
+
+}  // namespace radloc

@@ -1,0 +1,51 @@
+#include "radloc/rng/poisson_process.hpp"
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+std::vector<Point2> sample_poisson_process(Rng& rng, const AreaBounds& area, double intensity) {
+  require(intensity >= 0.0, "poisson process intensity must be non-negative");
+  const auto n = poisson(rng, intensity * area.area());
+  return sample_binomial_process(rng, area, static_cast<std::size_t>(n));
+}
+
+std::vector<Point2> sample_binomial_process(Rng& rng, const AreaBounds& area, std::size_t n) {
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(uniform_point(rng, area));
+  return pts;
+}
+
+std::vector<Point2> sample_separated_points(Rng& rng, const AreaBounds& area, std::size_t n,
+                                            double min_distance, std::size_t max_attempts) {
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  const double min_d2 = square(min_distance);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point2 candidate{};
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      candidate = uniform_point(rng, area);
+      bool ok = true;
+      for (const auto& p : pts) {
+        if (distance2(p, candidate) < min_d2) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        placed = true;
+        break;
+      }
+    }
+    // Fall back to the last candidate if separation is infeasible; callers
+    // asking for impossible densities still get n points.
+    (void)placed;
+    pts.push_back(candidate);
+  }
+  return pts;
+}
+
+}  // namespace radloc

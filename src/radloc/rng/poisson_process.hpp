@@ -1,0 +1,34 @@
+// Spatial Poisson point process — used for random sensor placement
+// (Scenario C of the paper) and for randomized source placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/rng/rng.hpp"
+
+namespace radloc {
+
+/// Samples a homogeneous Poisson point process with the given intensity
+/// (expected points per unit area) over `area`. The number of points is
+/// Poisson(intensity * area), positions i.i.d. uniform.
+[[nodiscard]] std::vector<Point2> sample_poisson_process(Rng& rng, const AreaBounds& area,
+                                                         double intensity);
+
+/// Samples a Poisson point process conditioned on producing exactly `n`
+/// points (a binomial point process): n i.i.d. uniform points. This matches
+/// the paper's "195 sensors distributed according to a Poisson point
+/// process" where the count is fixed by the experiment.
+[[nodiscard]] std::vector<Point2> sample_binomial_process(Rng& rng, const AreaBounds& area,
+                                                          std::size_t n);
+
+/// Samples `n` points i.i.d. uniform subject to a minimum pairwise distance
+/// (simple dart throwing; gives up after `max_attempts` rejections per point
+/// and falls back to unconstrained placement). Used to place well-separated
+/// sources in randomized experiments.
+[[nodiscard]] std::vector<Point2> sample_separated_points(Rng& rng, const AreaBounds& area,
+                                                          std::size_t n, double min_distance,
+                                                          std::size_t max_attempts = 1000);
+
+}  // namespace radloc

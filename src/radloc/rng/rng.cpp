@@ -1,0 +1,7 @@
+// rng.hpp is header-only; this TU exists so the module has a home for future
+// out-of-line engine code and to anchor the library archive member.
+#include "radloc/rng/rng.hpp"
+
+namespace radloc {
+static_assert(Xoshiro256::min() == 0);
+}  // namespace radloc

@@ -1,0 +1,176 @@
+#include "radloc/search/mobile_searcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/concurrency/thread_pool.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+namespace {
+
+FilterConfig searcher_filter_config(const SearcherConfig& cfg) {
+  FilterConfig f = cfg.filter;
+  f.fusion_range = cfg.measure_radius;
+  // A mobile detector hammers one fusion disk with consecutive updates;
+  // the network default of 5% random replacement would bleed the local
+  // posterior dry. Keep a small trickle for new-source coverage.
+  f.random_replacement_frac = std::min(f.random_replacement_frac, 0.02);
+  return f;
+}
+
+}  // namespace
+
+MobileSearcher::MobileSearcher(const Environment& env, SearcherConfig cfg, Rng rng)
+    : env_(&env),
+      cfg_(cfg),
+      filter_(env, {}, searcher_filter_config(cfg), rng),
+      rng_(rng.split()) {
+  require(cfg_.speed > 0.0, "robot speed must be positive");
+  require(cfg_.candidate_directions >= 3, "need at least 3 candidate directions");
+  require(cfg_.lookahead > 0.0, "lookahead must be positive");
+  require(cfg_.max_steps >= 1, "need at least one step");
+}
+
+double MobileSearcher::posterior_spread() const {
+  const auto positions = filter_.positions();
+  const auto weights = filter_.weights();
+  Point2 mean{0.0, 0.0};
+  double total = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    mean += weights[i] * positions[i];
+    total += weights[i];
+  }
+  if (total <= 0.0) return std::numeric_limits<double>::infinity();
+  mean = (1.0 / total) * mean;
+  double var = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    var += weights[i] * distance2(positions[i], mean);
+  }
+  return std::sqrt(var / total);
+}
+
+MobileSearcher::LocalPosterior MobileSearcher::local_posterior() const {
+  const auto positions = filter_.positions();
+  const auto weights = filter_.weights();
+  Point2 mean{0.0, 0.0};
+  double mass = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (distance(positions[i], position_) > cfg_.measure_radius) continue;
+    mean += weights[i] * positions[i];
+    mass += weights[i];
+  }
+  if (mass <= 0.0) return LocalPosterior{std::numeric_limits<double>::infinity(), 0.0};
+  mean = (1.0 / mass) * mean;
+  double var = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (distance(positions[i], position_) > cfg_.measure_radius) continue;
+    var += weights[i] * distance2(positions[i], mean);
+  }
+  return LocalPosterior{std::sqrt(var / mass), mass};
+}
+
+double MobileSearcher::candidate_score(const Point2& candidate) const {
+  // Hypothesis-spread score (see adaptive/planner.hpp): the weighted
+  // variance of the predicted reading over the particles the measurement
+  // would touch, Fano-normalized; discounted by travel distance.
+  const auto positions = filter_.positions();
+  const auto strengths = filter_.strengths();
+  const auto weights = filter_.weights();
+  const std::size_t stride = std::max<std::size_t>(1, positions.size() / 1024);
+
+  double w_total = 0.0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < positions.size(); i += stride) {
+    if (distance(positions[i], candidate) > cfg_.measure_radius) continue;
+    const double w = weights[i];
+    if (w <= 0.0) continue;
+    const double rate = expected_cpm_single_free_space(
+        candidate, Source{positions[i], strengths[i]}, cfg_.detector);
+    w_total += w;
+    const double delta = rate - mean;
+    mean += (w / w_total) * delta;
+    m2 += w * delta * (rate - mean);
+  }
+  if (w_total <= 0.0) return 0.0;
+  const double info = (m2 / w_total) / (1.0 + mean);
+  return info / (1.0 + cfg_.travel_discount * distance(position_, candidate));
+}
+
+SearchStep MobileSearcher::step(MeasurementOracle& oracle) {
+  // Measure and update at the current position.
+  const double reading = oracle.read_cpm(position_, cfg_.detector);
+  (void)filter_.process_reading(position_, cfg_.detector, std::floor(std::max(reading, 0.0)));
+
+  // Pick the most informative waypoint on the lookahead ring.
+  Point2 best = position_;
+  double best_score = -1.0;
+  for (std::size_t d = 0; d < cfg_.candidate_directions; ++d) {
+    const double angle = 2.0 * kPi * static_cast<double>(d) /
+                         static_cast<double>(cfg_.candidate_directions);
+    const Point2 candidate = env_->bounds().clamp(
+        position_ + Vec2{cfg_.lookahead * std::cos(angle), cfg_.lookahead * std::sin(angle)});
+    const double score = candidate_score(candidate);
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+
+  // Drive one step of `speed` toward the chosen waypoint.
+  const Vec2 to = best - position_;
+  const double dist = norm(to);
+  if (dist > 1e-9) {
+    const double travel = std::min(cfg_.speed, dist);
+    position_ = env_->bounds().clamp(position_ + (travel / dist) * to);
+  }
+
+  return SearchStep{position_, reading, local_posterior().spread};
+}
+
+SearchResult MobileSearcher::search(const Point2& start, MeasurementOracle& oracle) {
+  position_ = env_->bounds().clamp(start);
+  SearchResult result;
+  Point2 prev = position_;
+  for (std::size_t i = 0; i < cfg_.max_steps; ++i) {
+    const SearchStep s = step(oracle);
+    result.distance_travelled += distance(prev, s.position);
+    prev = s.position;
+    result.path.push_back(s);
+    const LocalPosterior local = local_posterior();
+    // Median of the last few readings: the robot must actually be in a hot
+    // zone, not just sitting on a tight but silent particle clump.
+    double recent_median = 0.0;
+    if (result.path.size() >= 5) {
+      std::vector<double> recent;
+      for (std::size_t r = result.path.size() - 5; r < result.path.size(); ++r) {
+        recent.push_back(result.path[r].reading);
+      }
+      std::nth_element(recent.begin(), recent.begin() + 2, recent.end());
+      recent_median = recent[2];
+    }
+    const double signal_floor =
+        cfg_.stop_signal_factor * std::max(cfg_.detector.background_cpm, 1.0);
+    if (local.spread <= cfg_.stop_spread && local.mass >= cfg_.stop_mass &&
+        recent_median >= signal_floor) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final estimates from the particle cloud. Unvisited regions stay
+  // diffuse by design, so the tightness gate filters their broad modes and
+  // keeps only resolved clusters.
+  ThreadPool pool(1);
+  MeanShiftConfig ms;
+  ms.min_tightness = 0.4;
+  MeanShiftEstimator estimator(env_->bounds(), ms, pool);
+  result.estimates =
+      estimator.estimate(filter_.positions(), filter_.strengths(), filter_.weights());
+  return result;
+}
+
+}  // namespace radloc

@@ -1,0 +1,110 @@
+// Mobile radiation search — a single detector-carrying robot hunting for
+// sources, in the spirit of Ristic et al.'s "controlled search for
+// radioactive point sources" [18] (the paper's related work).
+//
+// The robot repeatedly: (i) takes a reading at its current position and
+// feeds it to the fusion-range particle filter via process_reading();
+// (ii) scores a ring of candidate waypoints by the expected informativeness
+// of a reading there (the hypothesis-spread score of adaptive/planner.hpp,
+// discounted by travel time); (iii) drives toward the best waypoint. The
+// search ends when the posterior is concentrated or the step budget runs
+// out.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radloc/filter/particle_filter.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+struct SearcherConfig {
+  FilterConfig filter;                  ///< particle filter settings
+  SensorResponse detector{kDefaultEfficiency, 5.0};
+  double speed = 5.0;                   ///< distance per step
+  double measure_radius = 28.0;         ///< fusion range of the mobile readings
+  std::size_t candidate_directions = 12;  ///< waypoints scored per step
+  double lookahead = 15.0;              ///< candidate waypoint distance
+  /// Candidate score = predicted information at the waypoint, mildly
+  /// discounted per unit of travel so the robot prefers nearby information.
+  double travel_discount = 0.02;
+  /// Stop when the LOCAL posterior (particles within measure_radius of the
+  /// robot) holds at least `stop_mass` of the total weight with an RMS
+  /// spread below `stop_spread` — i.e. the robot is parked on a resolved
+  /// source. (A global spread criterion cannot work: the fusion-range
+  /// filter deliberately leaves unvisited regions diffuse.)
+  double stop_spread = 5.0;
+  /// Minimum local weight fraction. Kept low: repeatedly measuring the same
+  /// disk bleeds its weight outward through random replacement, so a
+  /// resolved source's local mass is small-but-concentrated.
+  double stop_mass = 0.03;
+  /// The robot must also be reading a clear signal: median of the recent
+  /// readings at least this multiple of the detector background.
+  double stop_signal_factor = 3.0;
+  std::size_t max_steps = 400;
+};
+
+struct SearchStep {
+  Point2 position;   ///< robot position after the move
+  double reading;    ///< CPM measured at the position
+  double spread;     ///< local posterior spread diagnostic after the update
+};
+
+struct SearchResult {
+  std::vector<SearchStep> path;
+  std::vector<SourceEstimate> estimates;  ///< final mean-shift estimates
+  bool converged = false;                 ///< stop_spread reached
+  double distance_travelled = 0.0;
+};
+
+/// Measurement oracle: the searcher asks it for a reading at a position
+/// (tests use a MeasurementSimulator; field code would read hardware).
+class MeasurementOracle {
+ public:
+  virtual ~MeasurementOracle() = default;
+  [[nodiscard]] virtual double read_cpm(const Point2& at, const SensorResponse& response) = 0;
+};
+
+class MobileSearcher {
+ public:
+  /// `env` must outlive the searcher. The filter starts uniform — the robot
+  /// knows nothing about the sources.
+  MobileSearcher(const Environment& env, SearcherConfig cfg, Rng rng);
+
+  /// Runs the search from `start`. The oracle supplies the physics.
+  [[nodiscard]] SearchResult search(const Point2& start, MeasurementOracle& oracle);
+
+  /// Single step (exposed for visualization loops): measure at the current
+  /// position, update, pick the next waypoint, move. Returns the step log.
+  [[nodiscard]] SearchStep step(MeasurementOracle& oracle);
+
+  [[nodiscard]] const FusionParticleFilter& filter() const { return filter_; }
+  [[nodiscard]] const Point2& position() const { return position_; }
+  void set_position(const Point2& p) { position_ = p; }
+
+  /// Posterior spread diagnostic: weighted RMS distance of particles to the
+  /// weighted mean, over the whole cloud.
+  [[nodiscard]] double posterior_spread() const;
+
+  /// Spread of the particles within measure_radius of the robot, and the
+  /// fraction of total weight they hold — the stop diagnostics.
+  struct LocalPosterior {
+    double spread = 0.0;
+    double mass = 0.0;
+  };
+  [[nodiscard]] LocalPosterior local_posterior() const;
+
+ private:
+  [[nodiscard]] double candidate_score(const Point2& candidate) const;
+
+  const Environment* env_;
+  SearcherConfig cfg_;
+  FusionParticleFilter filter_;
+  Point2 position_{};
+  Rng rng_;
+};
+
+}  // namespace radloc

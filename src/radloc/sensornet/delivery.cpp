@@ -1,0 +1,72 @@
+#include "radloc/sensornet/delivery.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+namespace {
+
+/// Fisher-Yates shuffle driven by the radloc engine (std::shuffle's output
+/// is implementation-defined; we need reproducibility).
+void shuffle_measurements(Rng& rng, std::vector<Measurement>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_index(rng, i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace
+
+std::vector<Measurement> InOrderDelivery::deliver(Rng& /*rng*/, std::vector<Measurement> batch) {
+  return batch;
+}
+
+std::vector<Measurement> ShuffledDelivery::deliver(Rng& rng, std::vector<Measurement> batch) {
+  shuffle_measurements(rng, batch);
+  return batch;
+}
+
+LossyDelivery::LossyDelivery(double loss_rate, std::unique_ptr<DeliveryModel> inner)
+    : loss_rate_(loss_rate), inner_(std::move(inner)) {
+  require(loss_rate >= 0.0 && loss_rate < 1.0, "loss rate must be in [0, 1)");
+  require(inner_ != nullptr, "lossy delivery needs an inner model");
+}
+
+std::vector<Measurement> LossyDelivery::deliver(Rng& rng, std::vector<Measurement> batch) {
+  std::erase_if(batch, [&](const Measurement&) { return uniform01(rng) < loss_rate_; });
+  return inner_->deliver(rng, std::move(batch));
+}
+
+RandomLatencyDelivery::RandomLatencyDelivery(double mean_delay_steps) {
+  require(mean_delay_steps >= 0.0, "mean delay must be non-negative");
+  // Geometric(p) with mean (1-p)/p extra steps => stay-queued probability.
+  delay_prob_ = mean_delay_steps / (1.0 + mean_delay_steps);
+}
+
+std::vector<Measurement> RandomLatencyDelivery::deliver(Rng& rng,
+                                                        std::vector<Measurement> batch) {
+  for (auto& m : batch) in_flight_.push_back(m);
+  std::vector<Measurement> delivered;
+  std::vector<Measurement> still_queued;
+  delivered.reserve(in_flight_.size());
+  for (const auto& m : in_flight_) {
+    if (uniform01(rng) < delay_prob_) {
+      still_queued.push_back(m);
+    } else {
+      delivered.push_back(m);
+    }
+  }
+  in_flight_ = std::move(still_queued);
+  shuffle_measurements(rng, delivered);
+  return delivered;
+}
+
+std::vector<Measurement> RandomLatencyDelivery::drain() {
+  return std::exchange(in_flight_, {});
+}
+
+}  // namespace radloc

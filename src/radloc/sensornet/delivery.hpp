@@ -1,0 +1,81 @@
+// Network delivery models.
+//
+// The paper stresses that the algorithm consumes ONE measurement per
+// iteration, with no ordering assumption, tolerating loss and unpredictable
+// latency (Sec. V bullet 1; Scenario C uses out-of-order delivery). These
+// models transform the per-time-step measurement batch into the arrival
+// sequence the localizer actually sees.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// Interface: reorders / drops a batch of measurements generated in one time
+/// step. Implementations may keep state across steps (e.g. latency queues).
+class DeliveryModel {
+ public:
+  virtual ~DeliveryModel() = default;
+
+  /// Consumes this step's batch, returns the measurements *delivered* this
+  /// step (possibly including stragglers from earlier steps, possibly
+  /// missing delayed or dropped ones).
+  [[nodiscard]] virtual std::vector<Measurement> deliver(Rng& rng,
+                                                         std::vector<Measurement> batch) = 0;
+
+  /// Measurements still in flight (for latency models); drained at shutdown.
+  [[nodiscard]] virtual std::vector<Measurement> drain() { return {}; }
+};
+
+/// Perfect in-order delivery (Scenarios A and B).
+class InOrderDelivery final : public DeliveryModel {
+ public:
+  [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
+                                                 std::vector<Measurement> batch) override;
+};
+
+/// Uniformly random permutation of each step's batch (out-of-order arrival
+/// within a step — Scenario C).
+class ShuffledDelivery final : public DeliveryModel {
+ public:
+  [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
+                                                 std::vector<Measurement> batch) override;
+};
+
+/// Drops each measurement independently with probability `loss_rate`
+/// (unreliable wireless), then delegates to an inner model.
+class LossyDelivery final : public DeliveryModel {
+ public:
+  LossyDelivery(double loss_rate, std::unique_ptr<DeliveryModel> inner);
+
+  [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
+                                                 std::vector<Measurement> batch) override;
+  [[nodiscard]] std::vector<Measurement> drain() override { return inner_->drain(); }
+
+ private:
+  double loss_rate_;
+  std::unique_ptr<DeliveryModel> inner_;
+};
+
+/// Each measurement is delayed by a geometric number of steps with mean
+/// `mean_delay_steps` (multi-hop forwarding latency); arrivals within a step
+/// are shuffled. Measurements can therefore arrive many steps late and
+/// heavily out of order across steps.
+class RandomLatencyDelivery final : public DeliveryModel {
+ public:
+  explicit RandomLatencyDelivery(double mean_delay_steps);
+
+  [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
+                                                 std::vector<Measurement> batch) override;
+  [[nodiscard]] std::vector<Measurement> drain() override;
+
+ private:
+  double delay_prob_;  // probability a queued measurement stays queued a step
+  std::vector<Measurement> in_flight_;
+};
+
+}  // namespace radloc

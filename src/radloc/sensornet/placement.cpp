@@ -1,0 +1,43 @@
+#include "radloc/sensornet/placement.hpp"
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/poisson_process.hpp"
+
+namespace radloc {
+
+std::vector<Sensor> place_grid(const AreaBounds& area, std::size_t nx, std::size_t ny,
+                               const SensorResponse& response) {
+  require(nx >= 2 && ny >= 2, "grid placement needs at least 2x2 sensors");
+  std::vector<Sensor> sensors;
+  sensors.reserve(nx * ny);
+  const double dx = area.width() / static_cast<double>(nx - 1);
+  const double dy = area.height() / static_cast<double>(ny - 1);
+  SensorId id = 0;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      sensors.push_back(Sensor{
+          id++,
+          Point2{area.min.x + static_cast<double>(ix) * dx,
+                 area.min.y + static_cast<double>(iy) * dy},
+          response});
+    }
+  }
+  return sensors;
+}
+
+std::vector<Sensor> place_poisson(Rng& rng, const AreaBounds& area, std::size_t n,
+                                  const SensorResponse& response) {
+  const auto pts = sample_binomial_process(rng, area, n);
+  std::vector<Sensor> sensors;
+  sensors.reserve(n);
+  SensorId id = 0;
+  for (const auto& p : pts) sensors.push_back(Sensor{id++, p, response});
+  return sensors;
+}
+
+std::vector<Sensor>& set_background(std::vector<Sensor>& sensors, double background_cpm) {
+  for (auto& s : sensors) s.response.background_cpm = background_cpm;
+  return sensors;
+}
+
+}  // namespace radloc

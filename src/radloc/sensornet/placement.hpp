@@ -1,0 +1,31 @@
+// Sensor placement strategies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// `nx` x `ny` sensors in a uniform grid covering `area` (sensors on the
+/// boundary included, like the paper's 6x6 grid over 100x100). All sensors
+/// get `response`.
+[[nodiscard]] std::vector<Sensor> place_grid(const AreaBounds& area, std::size_t nx,
+                                             std::size_t ny,
+                                             const SensorResponse& response = {
+                                                 kDefaultEfficiency, 0.0});
+
+/// `n` sensors placed by a (binomial) Poisson point process over `area` —
+/// the paper's Scenario C.
+[[nodiscard]] std::vector<Sensor> place_poisson(Rng& rng, const AreaBounds& area, std::size_t n,
+                                                const SensorResponse& response = {
+                                                    kDefaultEfficiency, 0.0});
+
+/// Sets the background rate (CPM) on every sensor; returns the same vector
+/// for chaining.
+std::vector<Sensor>& set_background(std::vector<Sensor>& sensors, double background_cpm);
+
+}  // namespace radloc

@@ -1,0 +1,35 @@
+// A radiation counter at a known position.
+#pragma once
+
+#include <cstdint>
+
+#include "radloc/common/types.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+
+namespace radloc {
+
+using SensorId = std::uint32_t;
+
+/// Default counting efficiency E_i. With Eq. (4)'s 2.22e6 uCi->CPM constant,
+/// E = 3e-5 calibrates the model to the paper's regime: a 10 uCi source
+/// reads ~25 CPM a few units away, is weaker than a 5 CPM background one
+/// grid spacing away (~14 units from the nearest sensor), and is buried in
+/// background across the area (so superposed far-field does not masquerade
+/// as phantom weak sources). Experiments may override per sensor.
+inline constexpr double kDefaultEfficiency = 3.0e-5;
+
+struct Sensor {
+  SensorId id = 0;
+  Point2 pos;
+  SensorResponse response{kDefaultEfficiency, 0.0};
+};
+
+/// One reading: sensor `sensor` measured `cpm` counts per minute.
+/// The paper's m(S_i); iterations are defined by arrival order, so the
+/// measurement itself carries no timestamp.
+struct Measurement {
+  SensorId sensor = 0;
+  double cpm = 0.0;
+};
+
+}  // namespace radloc

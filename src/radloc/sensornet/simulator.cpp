@@ -1,0 +1,50 @@
+#include "radloc/sensornet/simulator.hpp"
+
+#include "radloc/common/math.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+MeasurementSimulator::MeasurementSimulator(const Environment& env, std::vector<Sensor> sensors,
+                                           std::vector<Source> sources)
+    : env_(&env),
+      sensors_(std::move(sensors)),
+      sources_(std::move(sources)),
+      dead_(sensors_.size(), false) {
+  require(!sensors_.empty(), "simulator needs at least one sensor");
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    require(sensors_[i].id == i, "sensor ids must be dense and in order");
+  }
+}
+
+double MeasurementSimulator::expected_cpm_at(SensorId i) const {
+  const Sensor& s = sensors_.at(i);
+  return expected_cpm(s.pos, sources_, *env_, s.response);
+}
+
+double MeasurementSimulator::sample_at(Rng& rng, const Point2& at,
+                                        const SensorResponse& response) const {
+  const double lambda = expected_cpm(at, sources_, *env_, response);
+  return static_cast<double>(poisson(rng, lambda));
+}
+
+Measurement MeasurementSimulator::sample(Rng& rng, SensorId i) const {
+  const double lambda = expected_cpm_at(i);
+  return Measurement{i, static_cast<double>(poisson(rng, lambda))};
+}
+
+std::vector<Measurement> MeasurementSimulator::sample_time_step(Rng& rng) const {
+  std::vector<Measurement> out;
+  out.reserve(sensors_.size());
+  for (const Sensor& s : sensors_) {
+    if (!dead_[s.id]) out.push_back(sample(rng, s.id));
+  }
+  return out;
+}
+
+void MeasurementSimulator::kill_sensor(SensorId i) { dead_.at(i) = true; }
+
+bool MeasurementSimulator::is_dead(SensorId i) const { return dead_.at(i); }
+
+}  // namespace radloc

@@ -1,0 +1,55 @@
+// Ground-truth measurement generator.
+//
+// Implements the generative model of Sec. III: each sensor's reading is a
+// Poisson sample with rate given by Eq. (4) over the true source set and the
+// true environment (obstacles included).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radloc/radiation/environment.hpp"
+#include "radloc/radiation/source.hpp"
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+class MeasurementSimulator {
+ public:
+  /// The simulator copies sensors/sources; `env` must outlive it.
+  MeasurementSimulator(const Environment& env, std::vector<Sensor> sensors,
+                       std::vector<Source> sources);
+
+  /// Expected CPM (Eq. 4) at sensor `i` — the Poisson rate, before sampling.
+  [[nodiscard]] double expected_cpm_at(SensorId i) const;
+
+  /// One Poisson-sampled reading from sensor `i`.
+  [[nodiscard]] Measurement sample(Rng& rng, SensorId i) const;
+
+  /// One Poisson-sampled reading taken at an arbitrary position with the
+  /// given detector response (mobile detectors). Returns raw CPM.
+  [[nodiscard]] double sample_at(Rng& rng, const Point2& at,
+                                 const SensorResponse& response) const;
+
+  /// One reading from every sensor, in sensor-id order (one "time step" of
+  /// the paper: T = N iterations).
+  [[nodiscard]] std::vector<Measurement> sample_time_step(Rng& rng) const;
+
+  [[nodiscard]] std::span<const Sensor> sensors() const { return sensors_; }
+  [[nodiscard]] std::span<const Source> sources() const { return sources_; }
+  [[nodiscard]] const Environment& environment() const { return *env_; }
+
+  /// Marks sensor `i` dead: it still appears in sensors() but produces no
+  /// measurements (paper Sec. V: robustness to malfunctioning sensors).
+  void kill_sensor(SensorId i);
+  [[nodiscard]] bool is_dead(SensorId i) const;
+
+ private:
+  const Environment* env_;
+  std::vector<Sensor> sensors_;
+  std::vector<Source> sources_;
+  std::vector<bool> dead_;
+};
+
+}  // namespace radloc

@@ -1,0 +1,130 @@
+#include "radloc/sensornet/topology.hpp"
+
+#include <deque>
+#include <utility>
+
+#include "radloc/common/math.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+
+NetworkTopology::NetworkTopology(std::span<const Sensor> sensors, double radio_range,
+                                 SensorId base_station)
+    : base_(base_station),
+      adjacency_(sensors.size()),
+      parent_(sensors.size()),
+      hops_(sensors.size()),
+      dead_(sensors.size(), false) {
+  require(base_station < sensors.size(), "unknown base station sensor id");
+  require(radio_range > 0.0, "radio range must be positive");
+  const double range2 = square(radio_range);
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    for (std::size_t j = i + 1; j < sensors.size(); ++j) {
+      if (distance2(sensors[i].pos, sensors[j].pos) <= range2) {
+        adjacency_[i].push_back(static_cast<SensorId>(j));
+        adjacency_[j].push_back(static_cast<SensorId>(i));
+      }
+    }
+  }
+  rebuild_routes();
+}
+
+void NetworkTopology::rebuild_routes() {
+  std::fill(parent_.begin(), parent_.end(), std::nullopt);
+  std::fill(hops_.begin(), hops_.end(), std::nullopt);
+  if (dead_[base_]) return;  // the fusion center itself is down
+
+  std::deque<SensorId> queue{base_};
+  hops_[base_] = 0;
+  while (!queue.empty()) {
+    const SensorId u = queue.front();
+    queue.pop_front();
+    for (const SensorId v : adjacency_[u]) {
+      if (dead_[v] || hops_[v]) continue;
+      hops_[v] = *hops_[u] + 1;
+      parent_[v] = u;
+      queue.push_back(v);
+    }
+  }
+}
+
+std::optional<SensorId> NetworkTopology::parent(SensorId id) const { return parent_.at(id); }
+
+std::optional<std::size_t> NetworkTopology::hops(SensorId id) const { return hops_.at(id); }
+
+std::size_t NetworkTopology::connected_count() const {
+  std::size_t n = 0;
+  for (const auto& h : hops_) {
+    if (h) ++n;
+  }
+  return n;
+}
+
+std::vector<SensorId> NetworkTopology::route(SensorId id) const {
+  std::vector<SensorId> path;
+  if (!hops_.at(id)) return path;
+  for (std::optional<SensorId> cur = id; cur; cur = parent_[*cur]) {
+    path.push_back(*cur);
+    if (*cur == base_) break;
+  }
+  return path;
+}
+
+void NetworkTopology::kill(SensorId id) {
+  dead_.at(id) = true;
+  rebuild_routes();
+}
+
+MultiHopDelivery::MultiHopDelivery(const NetworkTopology& topology, double per_hop_loss,
+                                   std::size_t slots_per_step)
+    : topology_(&topology), per_hop_loss_(per_hop_loss), slots_per_step_(slots_per_step) {
+  require(per_hop_loss >= 0.0 && per_hop_loss < 1.0, "per-hop loss must be in [0, 1)");
+  require(slots_per_step > 0, "need at least one transmission slot per step");
+}
+
+std::vector<Measurement> MultiHopDelivery::deliver(Rng& rng, std::vector<Measurement> batch) {
+  for (auto& m : batch) {
+    if (m.sensor >= topology_->size()) continue;  // foreign sensor: drop
+    if (topology_->is_dead(m.sensor)) continue;
+    const auto hops = topology_->hops(m.sensor);
+    if (!hops) continue;  // orphaned: no route to the fusion center
+    in_flight_.push_back(InFlight{m, *hops});
+  }
+
+  std::vector<Measurement> delivered;
+  std::vector<InFlight> still_flying;
+  for (auto& f : in_flight_) {
+    bool lost = false;
+    for (std::size_t slot = 0; slot < slots_per_step_ && f.hops_left > 0; ++slot) {
+      if (per_hop_loss_ > 0.0 && uniform01(rng) < per_hop_loss_) {
+        lost = true;
+        break;
+      }
+      --f.hops_left;
+    }
+    if (lost) continue;
+    if (f.hops_left == 0) {
+      delivered.push_back(f.m);
+    } else {
+      still_flying.push_back(f);
+    }
+  }
+  in_flight_ = std::move(still_flying);
+
+  // Arrivals race through the network: shuffle within the step.
+  for (std::size_t i = delivered.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_index(rng, i));
+    std::swap(delivered[i - 1], delivered[j]);
+  }
+  return delivered;
+}
+
+std::vector<Measurement> MultiHopDelivery::drain() {
+  std::vector<Measurement> out;
+  out.reserve(in_flight_.size());
+  for (const auto& f : in_flight_) out.push_back(f.m);
+  in_flight_.clear();
+  return out;
+}
+
+}  // namespace radloc

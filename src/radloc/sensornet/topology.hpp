@@ -1,0 +1,97 @@
+// Multi-hop network topology.
+//
+// The paper's robustness argument (Sec. V bullet 1) is rooted in real
+// wireless sensor networks: measurements reach the fusion center over
+// multi-hop trees, so latency grows with depth and a dead relay silences a
+// whole subtree. This module builds the communication graph from sensor
+// positions and a radio range, extracts a BFS routing tree toward a base
+// station, and exposes a delivery model with per-hop delay and loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "radloc/rng/rng.hpp"
+#include "radloc/sensornet/delivery.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// Communication graph over sensors: an undirected edge links every pair
+/// within `radio_range`.
+class NetworkTopology {
+ public:
+  /// Builds the graph and the BFS routing tree rooted at `base_station`
+  /// (a sensor id). Sensors unreachable from the base station have no
+  /// route (orphans). Throws on an unknown base station id.
+  NetworkTopology(std::span<const Sensor> sensors, double radio_range, SensorId base_station);
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+  [[nodiscard]] SensorId base_station() const { return base_; }
+
+  /// Parent of `id` in the routing tree; nullopt for the base station and
+  /// for orphans.
+  [[nodiscard]] std::optional<SensorId> parent(SensorId id) const;
+
+  /// Hop count from `id` to the base station; nullopt for orphans.
+  [[nodiscard]] std::optional<std::size_t> hops(SensorId id) const;
+
+  /// True when the sensor has a route to the base station.
+  [[nodiscard]] bool connected(SensorId id) const { return hops_[id].has_value(); }
+
+  /// Number of sensors with a route (including the base station).
+  [[nodiscard]] std::size_t connected_count() const;
+
+  /// All direct neighbors of `id` in the communication graph.
+  [[nodiscard]] const std::vector<SensorId>& neighbors(SensorId id) const {
+    return adjacency_[id];
+  }
+
+  /// The route from `id` to the base station (inclusive); empty for orphans.
+  [[nodiscard]] std::vector<SensorId> route(SensorId id) const;
+
+  /// Marks a sensor dead; routes are rebuilt, so its subtree re-attaches
+  /// through other neighbors when the graph allows, and becomes orphaned
+  /// otherwise.
+  void kill(SensorId id);
+  [[nodiscard]] bool is_dead(SensorId id) const { return dead_[id]; }
+
+ private:
+  void rebuild_routes();
+
+  SensorId base_;
+  std::vector<std::vector<SensorId>> adjacency_;
+  std::vector<std::optional<SensorId>> parent_;
+  std::vector<std::optional<std::size_t>> hops_;
+  std::vector<bool> dead_;
+};
+
+/// Delivery model driven by a NetworkTopology: a measurement from sensor s
+/// takes hops(s) transmissions; each transmission takes one "slot" of
+/// `slots_per_step` per time step and is independently lost with
+/// `per_hop_loss`. Measurements from orphaned or dead sensors never arrive.
+/// Arrivals within a step are shuffled (they race through the network).
+class MultiHopDelivery final : public DeliveryModel {
+ public:
+  /// The topology is borrowed and must outlive the model.
+  MultiHopDelivery(const NetworkTopology& topology, double per_hop_loss = 0.0,
+                   std::size_t slots_per_step = 4);
+
+  [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
+                                                 std::vector<Measurement> batch) override;
+  [[nodiscard]] std::vector<Measurement> drain() override;
+
+ private:
+  struct InFlight {
+    Measurement m;
+    std::size_t hops_left;
+  };
+
+  const NetworkTopology* topology_;
+  double per_hop_loss_;
+  std::size_t slots_per_step_;
+  std::vector<InFlight> in_flight_;
+};
+
+}  // namespace radloc

@@ -1,0 +1,97 @@
+#include "radloc/sensornet/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+bool operator==(const Measurement& a, const Measurement& b) {
+  return a.sensor == b.sensor && a.cpm == b.cpm;
+}
+
+bool operator==(const MeasurementTrace& a, const MeasurementTrace& b) {
+  return a.steps_ == b.steps_;
+}
+
+void MeasurementTrace::record_step(std::vector<Measurement> step) {
+  steps_.push_back(std::move(step));
+}
+
+std::size_t MeasurementTrace::num_measurements() const {
+  std::size_t n = 0;
+  for (const auto& s : steps_) n += s.size();
+  return n;
+}
+
+std::vector<Measurement> MeasurementTrace::flattened() const {
+  std::vector<Measurement> out;
+  out.reserve(num_measurements());
+  for (const auto& s : steps_) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+void MeasurementTrace::save_csv(std::ostream& os) const {
+  os << "step,sensor,cpm\n";
+  for (std::size_t t = 0; t < steps_.size(); ++t) {
+    for (const auto& m : steps_[t]) {
+      os << t << ',' << m.sensor << ',' << m.cpm << '\n';
+    }
+  }
+}
+
+void MeasurementTrace::save_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "cannot open trace file for writing");
+  save_csv(os);
+}
+
+MeasurementTrace MeasurementTrace::load_csv(std::istream& is) {
+  MeasurementTrace trace;
+  std::string line;
+  require(static_cast<bool>(std::getline(is, line)), "empty trace stream");
+  require(line.rfind("step,sensor,cpm", 0) == 0, "trace header mismatch");
+
+  std::vector<Measurement> current;
+  std::size_t current_step = 0;
+  bool any = false;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::size_t step = 0;
+    char c1 = 0;
+    char c2 = 0;
+    std::uint32_t sensor = 0;
+    double cpm = -1.0;
+    row >> step >> c1 >> sensor >> c2 >> cpm;
+    require(!row.fail() && c1 == ',' && c2 == ',', "malformed trace row");
+    require(cpm >= 0.0, "negative CPM in trace");
+    if (any) {
+      require(step >= current_step, "trace steps must be non-decreasing");
+      // A forward jump closes the current step and re-creates any empty
+      // steps in between, so step indices round-trip exactly.
+      while (current_step < step) {
+        trace.record_step(std::move(current));
+        current.clear();
+        ++current_step;
+      }
+    } else {
+      require(step == 0, "trace must start at step 0");
+      any = true;
+    }
+    current.push_back(Measurement{sensor, cpm});
+  }
+  if (any) trace.record_step(std::move(current));
+  return trace;
+}
+
+MeasurementTrace MeasurementTrace::load_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "cannot open trace file for reading");
+  return load_csv(is);
+}
+
+}  // namespace radloc

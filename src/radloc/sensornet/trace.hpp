@@ -1,0 +1,50 @@
+// Measurement trace recording and replay.
+//
+// Real deployments log every reading; analyses re-run localization offline
+// against recorded traces. A trace is a sequence of time steps, each a
+// sequence of (sensor, cpm) measurements in arrival order; the CSV format
+// is `step,sensor,cpm` per line with a one-line header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+class MeasurementTrace {
+ public:
+  MeasurementTrace() = default;
+
+  /// Appends one time step of measurements (arrival order preserved).
+  void record_step(std::vector<Measurement> step);
+
+  [[nodiscard]] std::size_t num_steps() const { return steps_.size(); }
+  [[nodiscard]] std::size_t num_measurements() const;
+  [[nodiscard]] const std::vector<Measurement>& step(std::size_t t) const {
+    return steps_.at(t);
+  }
+
+  /// All measurements flattened in arrival order.
+  [[nodiscard]] std::vector<Measurement> flattened() const;
+
+  /// Writes the trace as CSV (`step,sensor,cpm`).
+  void save_csv(std::ostream& os) const;
+  void save_csv_file(const std::string& path) const;
+
+  /// Parses a CSV trace. Throws std::invalid_argument on malformed rows,
+  /// non-contiguous step numbers, or negative readings.
+  [[nodiscard]] static MeasurementTrace load_csv(std::istream& is);
+  [[nodiscard]] static MeasurementTrace load_csv_file(const std::string& path);
+
+  friend bool operator==(const MeasurementTrace&, const MeasurementTrace&);
+
+ private:
+  std::vector<std::vector<Measurement>> steps_;
+};
+
+[[nodiscard]] bool operator==(const Measurement& a, const Measurement& b);
+
+}  // namespace radloc

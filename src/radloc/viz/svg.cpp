@@ -1,0 +1,138 @@
+#include "radloc/viz/svg.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+namespace {
+
+std::string style_attrs(const SvgStyle& s) {
+  std::ostringstream os;
+  os << "fill=\"" << (s.fill.empty() ? "none" : s.fill) << "\" stroke=\""
+     << (s.stroke.empty() ? "none" : s.stroke) << "\" stroke-width=\"" << s.stroke_width
+     << "\"";
+  if (s.opacity < 1.0) os << " opacity=\"" << s.opacity << "\"";
+  return os.str();
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(const AreaBounds& world, int width_px) : world_(world), width_px_(width_px) {
+  require(width_px > 0, "canvas width must be positive");
+  require(world.width() > 0.0 && world.height() > 0.0, "world bounds degenerate");
+  scale_ = static_cast<double>(width_px) / world.width();
+  height_px_ = static_cast<int>(std::lround(world.height() * scale_));
+}
+
+Point2 SvgCanvas::to_pixel(const Point2& world) const {
+  return Point2{(world.x - world_.min.x) * scale_,
+                (world_.max.y - world.y) * scale_};  // flip y
+}
+
+void SvgCanvas::add_polygon(const Polygon& poly, const SvgStyle& style) {
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const auto& v : poly.vertices()) {
+    const Point2 p = to_pixel(v);
+    os << p.x << ',' << p.y << ' ';
+  }
+  os << "\" " << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_circle(const Point2& center, double radius_world, const SvgStyle& style) {
+  const Point2 c = to_pixel(center);
+  std::ostringstream os;
+  os << "<circle cx=\"" << c.x << "\" cy=\"" << c.y << "\" r=\"" << radius_world * scale_
+     << "\" " << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_cross(const Point2& center, double half_size_world, const SvgStyle& style) {
+  add_line(center + Vec2{-half_size_world, -half_size_world},
+           center + Vec2{half_size_world, half_size_world}, style);
+  add_line(center + Vec2{-half_size_world, half_size_world},
+           center + Vec2{half_size_world, -half_size_world}, style);
+}
+
+void SvgCanvas::add_line(const Point2& a, const Point2& b, const SvgStyle& style) {
+  const Point2 pa = to_pixel(a);
+  const Point2 pb = to_pixel(b);
+  std::ostringstream os;
+  os << "<line x1=\"" << pa.x << "\" y1=\"" << pa.y << "\" x2=\"" << pb.x << "\" y2=\""
+     << pb.y << "\" " << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_text(const Point2& at, const std::string& text, double font_px,
+                         const std::string& color) {
+  const Point2 p = to_pixel(at);
+  std::ostringstream os;
+  os << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" font-size=\"" << font_px
+     << "\" fill=\"" << color << "\">" << text << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_points(std::span<const Point2> points, double radius_px,
+                           const std::string& color, double opacity) {
+  if (points.empty()) return;
+  std::ostringstream os;
+  os << "<g fill=\"" << color << "\" opacity=\"" << opacity << "\">";
+  for (const auto& w : points) {
+    const Point2 p = to_pixel(w);
+    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius_px << "\"/>";
+  }
+  os << "</g>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::write(std::ostream& os) const {
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_ << "\" height=\""
+     << height_px_ << "\" viewBox=\"0 0 " << width_px_ << ' ' << height_px_ << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << width_px_ << "\" height=\"" << height_px_
+     << "\" fill=\"white\" stroke=\"black\"/>\n";
+  for (const auto& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+}
+
+std::string SvgCanvas::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "cannot open SVG file for writing");
+  write(os);
+}
+
+SvgCanvas render_scene(const Environment& env, std::span<const Sensor> sensors,
+                       std::span<const Source> sources, std::span<const Point2> particles,
+                       std::span<const SourceEstimate> estimates, int width_px) {
+  SvgCanvas canvas(env.bounds(), width_px);
+
+  for (const auto& o : env.obstacles()) {
+    canvas.add_polygon(o.shape(), SvgStyle{"#b0b0b0", "#606060", 1.0, 0.9});
+  }
+  canvas.add_points(particles, 1.2, "#3366cc", 0.5);
+  const double unit = env.bounds().width() / 100.0;
+  for (const auto& s : sensors) {
+    canvas.add_cross(s.pos, 0.8 * unit, SvgStyle{"none", "#444444", 1.0, 1.0});
+  }
+  for (const auto& src : sources) {
+    canvas.add_circle(src.pos, 1.5 * unit, SvgStyle{"#cc2222", "#881111", 1.0, 1.0});
+  }
+  for (const auto& e : estimates) {
+    canvas.add_cross(e.pos, 1.5 * unit, SvgStyle{"none", "#22aa22", 2.0, 1.0});
+  }
+  return canvas;
+}
+
+}  // namespace radloc

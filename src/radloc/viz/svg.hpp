@@ -1,0 +1,79 @@
+// SVG rendering of scenarios, particle clouds, and estimates.
+//
+// The paper communicates its algorithm through scatter plots (Figs. 2, 4,
+// 8); this module renders the same pictures from live objects so users can
+// *see* the filter converge. Output is plain SVG 1.1 written to any
+// ostream — no external dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/geom/polygon.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/radiation/environment.hpp"
+#include "radloc/radiation/source.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// Minimal style: fill / stroke in any SVG color syntax; empty = none.
+struct SvgStyle {
+  std::string fill = "none";
+  std::string stroke = "black";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+};
+
+/// World-coordinate SVG canvas. Y grows upward in world space (the paper's
+/// convention) and is flipped to SVG's downward pixel axis internally.
+class SvgCanvas {
+ public:
+  /// `world` is the visible region; `width_px` the raster hint (height
+  /// follows the aspect ratio).
+  SvgCanvas(const AreaBounds& world, int width_px = 640);
+
+  void add_polygon(const Polygon& poly, const SvgStyle& style);
+  void add_circle(const Point2& center, double radius_world, const SvgStyle& style);
+  /// An x-shaped marker of the given world half-size.
+  void add_cross(const Point2& center, double half_size_world, const SvgStyle& style);
+  void add_line(const Point2& a, const Point2& b, const SvgStyle& style);
+  void add_text(const Point2& at, const std::string& text, double font_px = 12.0,
+                const std::string& color = "black");
+
+  /// Point cloud rendered as tiny dots (batched into one <g>).
+  void add_points(std::span<const Point2> points, double radius_px, const std::string& color,
+                  double opacity = 0.6);
+
+  [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+  [[nodiscard]] int width_px() const { return width_px_; }
+  [[nodiscard]] int height_px() const { return height_px_; }
+
+  /// World -> pixel transform (exposed for tests).
+  [[nodiscard]] Point2 to_pixel(const Point2& world) const;
+
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  void save(const std::string& path) const;
+
+ private:
+  AreaBounds world_;
+  int width_px_;
+  int height_px_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+/// One-call scene render: area frame, obstacles (gray), sensors (+),
+/// true sources (red discs), particles (blue dots), estimates (green x).
+/// Any span may be empty.
+[[nodiscard]] SvgCanvas render_scene(const Environment& env, std::span<const Sensor> sensors,
+                                     std::span<const Source> sources,
+                                     std::span<const Point2> particles,
+                                     std::span<const SourceEstimate> estimates,
+                                     int width_px = 640);
+
+}  // namespace radloc

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "radloc/baselines/grid_solver.hpp"
+#include "radloc/baselines/joint_pf.hpp"
+#include "radloc/baselines/mle.hpp"
+#include "radloc/baselines/single_source.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+namespace {
+
+struct World {
+  Environment env{make_area(100, 100)};
+  std::vector<Sensor> sensors;
+
+  World() {
+    sensors = place_grid(env.bounds(), 6, 6);
+    set_background(sensors, 5.0);
+  }
+
+  /// `steps` time steps of measurements from `sources`.
+  std::vector<Measurement> collect(const std::vector<Source>& sources, int steps,
+                                   std::uint64_t seed) const {
+    MeasurementSimulator sim(env, sensors, sources);
+    Rng rng(seed);
+    std::vector<Measurement> all;
+    for (int t = 0; t < steps; ++t) {
+      auto batch = sim.sample_time_step(rng);
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+  }
+};
+
+// ---------------------------------------------------------------- joint PF
+
+TEST(JointPf, LocalizesSingleSourceWithKnownK) {
+  World w;
+  const std::vector<Source> truth{{{47, 71}, 50.0}};
+  JointPfConfig cfg;
+  cfg.num_sources = 1;
+  cfg.num_particles = 3000;
+  JointParticleFilter pf(w.env, w.sensors, cfg, Rng(1));
+
+  MeasurementSimulator sim(w.env, w.sensors, truth);
+  Rng noise(2);
+  for (int t = 0; t < 10; ++t) {
+    for (const auto& m : sim.sample_time_step(noise)) pf.process(m);
+  }
+  const auto est = pf.estimate();
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_LT(distance(est[0].pos, truth[0].pos), 8.0);
+}
+
+TEST(JointPf, SingleSourceModelOscillatesBetweenTwoSources) {
+  // The Fig. 2 pathology: a K=1 filter fed two sources drifts with the
+  // sensor update order. We verify the centroid swings substantially.
+  World w;
+  const std::vector<Source> truth{{{20, 80}, 80.0}, {{80, 20}, 80.0}};
+  JointPfConfig cfg;
+  cfg.num_sources = 1;
+  cfg.num_particles = 2000;
+  JointParticleFilter pf(w.env, w.sensors, cfg, Rng(3));
+
+  MeasurementSimulator sim(w.env, w.sensors, truth);
+  Rng noise(4);
+  double min_dist_a = 1e9;
+  double min_dist_b = 1e9;
+  for (int t = 0; t < 12; ++t) {
+    for (const auto& m : sim.sample_time_step(noise)) pf.process(m);
+    const Point2 c = pf.centroid();
+    min_dist_a = std::min(min_dist_a, distance(c, truth[0].pos));
+    min_dist_b = std::min(min_dist_b, distance(c, truth[1].pos));
+  }
+  // The centroid came close to both sources at different times (oscillation)
+  // or sat between them — either way it cannot stay on both simultaneously.
+  EXPECT_LT(std::min(min_dist_a, min_dist_b), 45.0);
+}
+
+TEST(JointPf, EssNeverExceedsParticleCount) {
+  World w;
+  JointPfConfig cfg;
+  cfg.num_sources = 2;
+  cfg.num_particles = 500;
+  JointParticleFilter pf(w.env, w.sensors, cfg, Rng(5));
+  EXPECT_NEAR(pf.effective_sample_size(), 500.0, 1e-6);
+  MeasurementSimulator sim(w.env, w.sensors, {{{30, 30}, 20.0}, {{70, 70}, 20.0}});
+  Rng noise(6);
+  for (const auto& m : sim.sample_time_step(noise)) pf.process(m);
+  EXPECT_LE(pf.effective_sample_size(), 500.0 + 1e-6);
+  EXPECT_GT(pf.effective_sample_size(), 0.0);
+}
+
+TEST(JointPf, RejectsBadConfig) {
+  World w;
+  JointPfConfig cfg;
+  cfg.num_sources = 0;
+  EXPECT_THROW(JointParticleFilter(w.env, w.sensors, cfg, Rng(1)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- MLE
+
+TEST(Mle, RecoversSingleSource) {
+  World w;
+  const std::vector<Source> truth{{{47, 71}, 50.0}};
+  const auto data = w.collect(truth, 3, 7);
+
+  MleConfig cfg;
+  cfg.max_sources = 2;
+  cfg.restarts = 6;
+  MleLocalizer mle(w.env, w.sensors, cfg);
+  Rng rng(8);
+  const auto fit = mle.fit(data, rng);
+
+  EXPECT_EQ(fit.selected_k, 1u);
+  ASSERT_EQ(fit.sources.size(), 1u);
+  EXPECT_LT(distance(fit.sources[0].pos, truth[0].pos), 5.0);
+  EXPECT_NEAR(fit.sources[0].strength, 50.0, 20.0);
+}
+
+TEST(Mle, SelectsKTwoForTwoSources) {
+  World w;
+  const std::vector<Source> truth{{{25, 75}, 80.0}, {{80, 25}, 80.0}};
+  const auto data = w.collect(truth, 6, 9);
+
+  MleConfig cfg;
+  cfg.max_sources = 3;
+  cfg.restarts = 8;
+  MleLocalizer mle(w.env, w.sensors, cfg);
+  Rng rng(10);
+  const auto fit = mle.fit(data, rng);
+
+  EXPECT_EQ(fit.selected_k, 2u);
+  const std::vector<Source> truth_span(truth.begin(), truth.end());
+  const auto match = match_estimates(truth_span, fit.sources);
+  EXPECT_EQ(match.false_negatives, 0u);
+}
+
+TEST(Mle, FixedKBypassesSelection) {
+  World w;
+  const auto data = w.collect({{{50, 50}, 50.0}}, 2, 11);
+  MleConfig cfg;
+  cfg.restarts = 4;
+  MleLocalizer mle(w.env, w.sensors, cfg);
+  Rng rng(12);
+  const auto fit = mle.fit_fixed_k(data, 3, rng);
+  EXPECT_EQ(fit.selected_k, 3u);
+  EXPECT_EQ(fit.sources.size(), 3u);
+}
+
+TEST(Mle, NllLowerForTruthThanForGarbage) {
+  World w;
+  const std::vector<Source> truth{{{47, 71}, 50.0}};
+  const auto data = w.collect(truth, 2, 13);
+  MleLocalizer mle(w.env, w.sensors, {});
+  const std::vector<Source> garbage{{{5, 5}, 700.0}};
+  EXPECT_LT(mle.negative_log_likelihood(data, truth),
+            mle.negative_log_likelihood(data, garbage));
+}
+
+TEST(Mle, RejectsEmptyMeasurements) {
+  World w;
+  MleLocalizer mle(w.env, w.sensors, {});
+  Rng rng(14);
+  EXPECT_THROW((void)mle.fit({}, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- grid solver
+
+TEST(GridSolverTest, RecoversSingleSourceCell) {
+  World w;
+  const std::vector<Source> truth{{{47, 71}, 50.0}};
+  const auto data = w.collect(truth, 10, 15);
+
+  GridSolverConfig cfg;
+  cfg.cells_x = 20;
+  cfg.cells_y = 20;  // 5-unit cells
+  GridSolver solver(w.env, w.sensors, cfg);
+  const auto fit = solver.fit_measurements(data);
+
+  ASSERT_FALSE(fit.sources.empty());
+  // The strongest recovered peak may be one cell off; some peak must land
+  // within two cell widths of the truth.
+  double best = 1e18;
+  for (const auto& s : fit.sources) best = std::min(best, distance(s.pos, truth[0].pos));
+  EXPECT_LT(best, 10.0);
+}
+
+TEST(GridSolverTest, RecoversTwoWellSeparatedSources) {
+  World w;
+  const std::vector<Source> truth{{{25, 75}, 60.0}, {{80, 25}, 60.0}};
+  const auto data = w.collect(truth, 5, 16);
+
+  GridSolverConfig cfg;
+  cfg.cells_x = 20;
+  cfg.cells_y = 20;
+  GridSolver solver(w.env, w.sensors, cfg);
+  const auto fit = solver.fit_measurements(data);
+
+  const auto match = match_estimates(truth, fit.sources, 15.0);
+  EXPECT_EQ(match.false_negatives, 0u);
+}
+
+TEST(GridSolverTest, BackgroundOnlyGivesNoSources) {
+  World w;
+  const auto data = w.collect({}, 5, 17);
+  GridSolverConfig cfg;
+  cfg.cells_x = 15;
+  cfg.cells_y = 15;
+  cfg.detect_threshold = 1.0;
+  GridSolver solver(w.env, w.sensors, cfg);
+  const auto fit = solver.fit_measurements(data);
+  EXPECT_TRUE(fit.sources.empty());
+}
+
+TEST(GridSolverTest, CellStrengthsNonNegative) {
+  World w;
+  const auto data = w.collect({{{50, 50}, 30.0}}, 3, 18);
+  GridSolver solver(w.env, w.sensors, {});
+  const auto fit = solver.fit_measurements(data);
+  for (const double s : fit.cell_strengths) EXPECT_GE(s, 0.0);
+}
+
+TEST(GridSolverTest, CellCenterLayout) {
+  World w;
+  GridSolverConfig cfg;
+  cfg.cells_x = 10;
+  cfg.cells_y = 10;
+  GridSolver solver(w.env, w.sensors, cfg);
+  EXPECT_EQ(solver.num_cells(), 100u);
+  EXPECT_EQ(solver.cell_center(0), (Point2{5.0, 5.0}));
+  EXPECT_EQ(solver.cell_center(99), (Point2{95.0, 95.0}));
+}
+
+// ----------------------------------------------------------- single source
+
+TEST(SingleSource, MlFitFindsSource) {
+  World w;
+  const std::vector<Source> truth{{{47, 71}, 50.0}};
+  const auto data = w.collect(truth, 5, 19);
+  SingleSourceLocalizer loc(w.env, w.sensors);
+  Rng rng(20);
+  const auto avg = loc.average_per_sensor(data);
+  const auto est = loc.fit_ml(avg, rng);
+  EXPECT_LT(distance(est.pos, truth[0].pos), 5.0);
+  EXPECT_NEAR(est.strength, 50.0, 25.0);
+}
+
+TEST(SingleSource, MoeFindsSource) {
+  World w;
+  const std::vector<Source> truth{{{60, 40}, 100.0}};
+  const auto data = w.collect(truth, 5, 21);
+  SingleSourceLocalizer loc(w.env, w.sensors);
+  Rng rng(22);
+  const auto est = loc.fit_moe(loc.average_per_sensor(data), rng);
+  EXPECT_LT(distance(est.pos, truth[0].pos), 12.0);
+}
+
+TEST(SingleSource, BreaksDownWithTwoSources) {
+  // Motivates the paper: a single-source method fed two sources lands near
+  // neither (or near only one).
+  World w;
+  const std::vector<Source> truth{{{20, 80}, 80.0}, {{80, 20}, 80.0}};
+  const auto data = w.collect(truth, 5, 23);
+  SingleSourceLocalizer loc(w.env, w.sensors);
+  Rng rng(24);
+  const auto est = loc.fit_ml(loc.average_per_sensor(data), rng);
+  const double d0 = distance(est.pos, truth[0].pos);
+  const double d1 = distance(est.pos, truth[1].pos);
+  // It cannot be close to both.
+  EXPECT_GT(std::max(d0, d1), 30.0);
+}
+
+TEST(SingleSource, RequiresThreeSensors) {
+  Environment env(make_area(10, 10));
+  std::vector<Sensor> two{{0, {0, 0}, {}}, {1, {10, 10}, {}}};
+  EXPECT_THROW(SingleSourceLocalizer(env, two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "radloc/common/math.hpp"
+#include "radloc/common/types.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(Point2, Arithmetic) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point2{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Point2{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Point2{2.0, 4.0}));
+}
+
+TEST(Point2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Point2{1, 2}, Point2{3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(cross(Point2{1, 0}, Point2{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross(Point2{0, 1}, Point2{1, 0}), -1.0);
+  // Cross of parallel vectors is zero.
+  EXPECT_DOUBLE_EQ(cross(Point2{2, 3}, Point2{4, 6}), 0.0);
+}
+
+TEST(Point2, DistanceIsSymmetricAndPositive) {
+  const Point2 a{47.0, 71.0};
+  const Point2 b{81.0, 42.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_GT(distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), square(distance(a, b)));
+}
+
+TEST(Point2, StreamOutput) {
+  std::ostringstream os;
+  os << Point2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(AreaBounds, ContainsAndClamp) {
+  const AreaBounds area = make_area(100.0, 50.0);
+  EXPECT_TRUE(area.contains({0.0, 0.0}));
+  EXPECT_TRUE(area.contains({100.0, 50.0}));
+  EXPECT_TRUE(area.contains({50.0, 25.0}));
+  EXPECT_FALSE(area.contains({-0.1, 25.0}));
+  EXPECT_FALSE(area.contains({50.0, 50.1}));
+
+  EXPECT_EQ(area.clamp({-5.0, 60.0}), (Point2{0.0, 50.0}));
+  EXPECT_EQ(area.clamp({105.0, -1.0}), (Point2{100.0, 0.0}));
+  EXPECT_EQ(area.clamp({50.0, 25.0}), (Point2{50.0, 25.0}));
+}
+
+TEST(AreaBounds, Dimensions) {
+  const AreaBounds area = make_area(260.0, 130.0);
+  EXPECT_DOUBLE_EQ(area.width(), 260.0);
+  EXPECT_DOUBLE_EQ(area.height(), 130.0);
+  EXPECT_DOUBLE_EQ(area.area(), 260.0 * 130.0);
+}
+
+TEST(PoissonPmf, MatchesKnownValues) {
+  // P(X=0 | lambda=1) = e^-1.
+  EXPECT_NEAR(poisson_pmf(0, 1.0), std::exp(-1.0), 1e-12);
+  // P(X=3 | lambda=2) = 2^3 e^-2 / 3! = 8 e^-2 / 6.
+  EXPECT_NEAR(poisson_pmf(3, 2.0), 8.0 * std::exp(-2.0) / 6.0, 1e-12);
+}
+
+TEST(PoissonPmf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(-1, 5.0), 0.0);
+  EXPECT_TRUE(std::isinf(poisson_log_pmf(5, 0.0)));
+}
+
+TEST(PoissonPmf, LargeCountsStayFinite) {
+  // CPM-scale counts must not overflow the log-PMF.
+  const double ll = poisson_log_pmf(24000, 24000.0);
+  EXPECT_TRUE(std::isfinite(ll));
+  // At the mode, pmf ~ 1/sqrt(2 pi lambda).
+  EXPECT_NEAR(std::exp(ll), 1.0 / std::sqrt(2.0 * kPi * 24000.0), 1e-5);
+}
+
+class PoissonPmfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonPmfSweep, SumsToOne) {
+  const double lambda = GetParam();
+  double total = 0.0;
+  const int k_max = static_cast<int>(lambda + 12.0 * std::sqrt(lambda + 1.0)) + 20;
+  for (int k = 0; k <= k_max; ++k) total += poisson_pmf(k, lambda);
+  EXPECT_NEAR(total, 1.0, 1e-9) << "lambda=" << lambda;
+}
+
+TEST_P(PoissonPmfSweep, ModeAtFloorLambda) {
+  const double lambda = GetParam();
+  const double mode = std::floor(lambda);
+  const double at_mode = poisson_log_pmf(mode, lambda);
+  EXPECT_GE(at_mode, poisson_log_pmf(mode - 1, lambda));
+  EXPECT_GE(at_mode, poisson_log_pmf(mode + 1, lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonPmfSweep,
+                         ::testing::Values(0.5, 1.0, 5.0, 20.0, 100.0, 1000.0));
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const std::vector<double> v{-1.0, 0.0, 2.5};
+  double direct = 0.0;
+  for (const double x : v) direct += std::exp(x);
+  EXPECT_NEAR(log_sum_exp(v), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeMagnitudes) {
+  const std::vector<double> v{-100000.0, -100001.0};
+  const double r = log_sum_exp(v);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_NEAR(r, -100000.0 + std::log(1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_sum_exp({})));
+  EXPECT_LT(log_sum_exp({}), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectFormulas) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "boom"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "radloc/concurrency/thread_pool.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(ThreadPool, SerialModeRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.for_each_index(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsBehavesLikeOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int count = 0;
+  pool.for_each_index(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+class ThreadPoolSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadPoolSweep, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.for_each_index(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ThreadPoolSweep, ParallelSumMatchesSerial) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t n = 10000;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 0.5;
+
+  std::atomic<double> parallel_sum{0.0};
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    double local = 0.0;
+    for (std::size_t i = begin; i < end; ++i) local += data[i];
+    double expected = parallel_sum.load();
+    while (!parallel_sum.compare_exchange_weak(expected, expected + local)) {
+    }
+  });
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_DOUBLE_EQ(parallel_sum.load(), serial);
+}
+
+TEST_P(ThreadPoolSweep, ReusableAcrossManyCalls) {
+  ThreadPool pool(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.for_each_index(64, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolSweep, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRunsOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(1, [&](std::size_t, std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ChunksCoverRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    const std::lock_guard lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t cursor = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, cursor);
+    EXPECT_GT(e, b);
+    cursor = e;
+  }
+  EXPECT_EQ(cursor, 100u);
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "radloc/filter/particle_filter.hpp"
+#include "radloc/filter/resample.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+namespace {
+
+Environment test_env() { return Environment(make_area(100, 100)); }
+
+std::vector<Sensor> test_sensors(const Environment& env, double bg = 5.0) {
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, bg);
+  return sensors;
+}
+
+FilterConfig small_config() {
+  FilterConfig cfg;
+  cfg.num_particles = 1500;
+  return cfg;
+}
+
+TEST(SystematicResample, ProportionalAllocation) {
+  Rng rng(1);
+  const std::vector<double> weights{0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  constexpr int rounds = 200;
+  constexpr std::size_t draws = 100;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto i : systematic_resample(rng, weights, draws)) ++counts[i];
+  }
+  const double total = rounds * draws;
+  EXPECT_NEAR(counts[0] / total, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / total, 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / total, 0.3, 0.01);
+}
+
+TEST(SystematicResample, OutputSortedAndSized) {
+  Rng rng(2);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  const auto picks = systematic_resample(rng, weights, 57);
+  EXPECT_EQ(picks.size(), 57u);
+  EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+}
+
+TEST(SystematicResample, DegenerateWeightConcentrates) {
+  Rng rng(3);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (const auto i : systematic_resample(rng, weights, 20)) EXPECT_EQ(i, 1u);
+}
+
+TEST(SystematicResample, RejectsZeroTotal) {
+  Rng rng(4);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW((void)systematic_resample(rng, weights, 5), std::invalid_argument);
+}
+
+TEST(SystematicResample, ZeroCountIsEmpty) {
+  Rng rng(5);
+  const std::vector<double> weights{1.0};
+  EXPECT_TRUE(systematic_resample(rng, weights, 0).empty());
+}
+
+TEST(FusionFilter, InitializationIsUniform) {
+  const Environment env = test_env();
+  FusionParticleFilter filter(env, test_sensors(env), small_config(), Rng(7));
+
+  EXPECT_EQ(filter.size(), 1500u);
+  const double total = std::accumulate(filter.weights().begin(), filter.weights().end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Quadrant occupancy roughly equal for a uniform init.
+  int quads[4] = {0, 0, 0, 0};
+  for (const auto& p : filter.positions()) {
+    EXPECT_TRUE(env.bounds().contains(p));
+    quads[(p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0)]++;
+  }
+  for (const int q : quads) EXPECT_NEAR(q, 375, 120);
+
+  for (const double s : filter.strengths()) {
+    EXPECT_GE(s, filter.config().strength_min);
+    EXPECT_LE(s, filter.config().strength_max);
+  }
+}
+
+TEST(FusionFilter, ConfigValidation) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FilterConfig cfg = small_config();
+
+  cfg.num_particles = 0;
+  EXPECT_THROW(FusionParticleFilter(env, sensors, cfg, Rng(1)), std::invalid_argument);
+  cfg = small_config();
+  cfg.fusion_range = 0.0;
+  EXPECT_THROW(FusionParticleFilter(env, sensors, cfg, Rng(1)), std::invalid_argument);
+  cfg = small_config();
+  cfg.random_replacement_frac = 1.0;
+  EXPECT_THROW(FusionParticleFilter(env, sensors, cfg, Rng(1)), std::invalid_argument);
+  cfg = small_config();
+  cfg.strength_min = -1.0;
+  EXPECT_THROW(FusionParticleFilter(env, sensors, cfg, Rng(1)), std::invalid_argument);
+  // Empty sensor list is allowed (mobile-detector mode)...
+  FusionParticleFilter sensorless(env, {}, small_config(), Rng(1));
+  // ...but then only process_reading() works; sensor ids all throw.
+  EXPECT_THROW((void)sensorless.process({0, 5.0}), std::invalid_argument);
+  EXPECT_GT(sensorless.process_reading({50, 50}, SensorResponse{kDefaultEfficiency, 5.0}, 7.0),
+            0u);
+}
+
+TEST(FusionFilter, RejectsBadMeasurements) {
+  const Environment env = test_env();
+  FusionParticleFilter filter(env, test_sensors(env), small_config(), Rng(7));
+  EXPECT_THROW((void)filter.process({999, 5.0}), std::invalid_argument);
+  EXPECT_THROW((void)filter.process({0, -1.0}), std::invalid_argument);
+}
+
+TEST(FusionFilter, FusionRangeLimitsUpdate) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(8));
+
+  // Snapshot particles far from sensor 0 (at (0,0)).
+  const double d = filter.config().fusion_range;
+  std::vector<std::pair<Point2, double>> far_before;
+  std::vector<std::size_t> far_idx;
+  for (std::size_t i = 0; i < filter.size(); ++i) {
+    if (distance(filter.positions()[i], sensors[0].pos) > d) {
+      far_idx.push_back(i);
+      far_before.emplace_back(filter.positions()[i], filter.strengths()[i]);
+    }
+  }
+  ASSERT_FALSE(far_idx.empty());
+
+  const std::size_t touched = filter.process({0, 20.0});
+  EXPECT_GT(touched, 0u);
+  EXPECT_LT(touched, filter.size());
+
+  // Particles outside the fusion range kept identical state.
+  for (std::size_t k = 0; k < far_idx.size(); ++k) {
+    const auto i = far_idx[k];
+    EXPECT_EQ(filter.positions()[i], far_before[k].first);
+    EXPECT_DOUBLE_EQ(filter.strengths()[i], far_before[k].second);
+  }
+}
+
+TEST(FusionFilter, WeightsStayNormalized) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(9));
+  MeasurementSimulator sim(env, sensors, {{{47, 71}, 10.0}});
+  Rng noise(10);
+  for (int step = 0; step < 3; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) {
+      (void)filter.process(m);
+      const double total =
+          std::accumulate(filter.weights().begin(), filter.weights().end(), 0.0);
+      ASSERT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(FusionFilter, ParticlesStayInBounds) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(11));
+  MeasurementSimulator sim(env, sensors, {{{5, 5}, 100.0}});
+  Rng noise(12);
+  for (int step = 0; step < 5; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  }
+  for (const auto& p : filter.positions()) EXPECT_TRUE(env.bounds().contains(p));
+  for (const double s : filter.strengths()) {
+    EXPECT_GE(s, filter.config().strength_min);
+    EXPECT_LE(s, filter.config().strength_max);
+  }
+}
+
+/// Weighted particle mass within `radius` of `center`.
+double mass_near(const FusionParticleFilter& f, const Point2& center, double radius) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (distance(f.positions()[i], center) <= radius) m += f.weights()[i];
+  }
+  return m;
+}
+
+TEST(FusionFilter, ConvergesOnSingleSource) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  const Point2 src_pos{47, 71};
+  MeasurementSimulator sim(env, sensors, {{src_pos, 50.0}});
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(13));
+
+  Rng noise(14);
+  const double before = mass_near(filter, src_pos, 15.0);
+  for (int step = 0; step < 10; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  }
+  const double after = mass_near(filter, src_pos, 15.0);
+  EXPECT_GT(after, 0.25);
+  EXPECT_GT(after, before * 2.0);
+}
+
+TEST(FusionFilter, TracksTwoSourcesSimultaneously) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  const Point2 a{47, 71};
+  const Point2 b{81, 42};
+  MeasurementSimulator sim(env, sensors, {{a, 50.0}, {b, 50.0}});
+  FilterConfig cfg = small_config();
+  cfg.num_particles = 2000;
+  FusionParticleFilter filter(env, sensors, cfg, Rng(15));
+
+  Rng noise(16);
+  for (int step = 0; step < 12; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  }
+  // Both sources hold substantial particle mass — the fusion range prevents
+  // the all-mass-on-one-source collapse of Fig. 2.
+  EXPECT_GT(mass_near(filter, a, 15.0), 0.05);
+  EXPECT_GT(mass_near(filter, b, 15.0), 0.05);
+}
+
+TEST(FusionFilter, ExtremeReadingKeepsStateFinite) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(17));
+
+  // A wildly implausible (but finite) reading: likelihoods underflow for
+  // nearly every hypothesis; the filter must stay normalized and finite.
+  (void)filter.process({0, 1e12});
+  double total = 0.0;
+  for (const double w : filter.weights()) {
+    ASSERT_TRUE(std::isfinite(w));
+    ASSERT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(FusionFilter, NonFiniteReadingRejected) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(17));
+  EXPECT_THROW((void)filter.process({0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+  EXPECT_THROW((void)filter.process({0, std::nan("")}), std::invalid_argument);
+}
+
+TEST(FusionFilter, RandomReplacementRepopulatesEmptyRegions) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FilterConfig cfg = small_config();
+  cfg.random_replacement_frac = 0.3;  // aggressive, to test the mechanism
+  MeasurementSimulator sim(env, sensors, {{{20, 20}, 100.0}});
+  FusionParticleFilter filter(env, sensors, cfg, Rng(18));
+  Rng noise(19);
+  for (int step = 0; step < 15; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  }
+  // Far corner must still hold some particles despite all evidence pointing
+  // to (20,20) — fresh particles keep the area observable.
+  int far_corner = 0;
+  for (const auto& p : filter.positions()) {
+    if (p.x > 70.0 && p.y > 70.0) ++far_corner;
+  }
+  EXPECT_GT(far_corner, 0);
+}
+
+TEST(FusionFilter, EffectiveSampleSizeBounded) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(20));
+  const double ess0 = filter.effective_sample_size();
+  EXPECT_NEAR(ess0, 1500.0, 1.0);  // uniform weights -> ESS = N
+
+  MeasurementSimulator sim(env, sensors, {{{50, 50}, 20.0}});
+  Rng noise(21);
+  for (int step = 0; step < 5; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  }
+  const double ess = filter.effective_sample_size();
+  EXPECT_GT(ess, 1.0);
+  EXPECT_LE(ess, 1500.0 + 1e-9);
+}
+
+TEST(FusionFilter, MovementModelHookRuns) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(22));
+  filter.set_movement_model(std::make_unique<RandomWalkMovement>(2.0));
+  EXPECT_THROW(filter.set_movement_model(nullptr), std::invalid_argument);
+
+  // With a random-walk model, processing must still keep invariants.
+  MeasurementSimulator sim(env, sensors, {{{50, 50}, 20.0}});
+  Rng noise(23);
+  for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+  const double total = std::accumulate(filter.weights().begin(), filter.weights().end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (const auto& p : filter.positions()) EXPECT_TRUE(env.bounds().contains(p));
+}
+
+TEST(FusionFilter, ParticlesAccessorMatchesSoA) {
+  const Environment env = test_env();
+  FusionParticleFilter filter(env, test_sensors(env), small_config(), Rng(24));
+  const auto particles = filter.particles();
+  ASSERT_EQ(particles.size(), filter.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(particles[i].pos, filter.positions()[i]);
+    EXPECT_DOUBLE_EQ(particles[i].strength, filter.strengths()[i]);
+    EXPECT_DOUBLE_EQ(particles[i].weight, filter.weights()[i]);
+  }
+}
+
+TEST(FusionFilter, DeterministicForSameSeed) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter f1(env, sensors, small_config(), Rng(25));
+  FusionParticleFilter f2(env, sensors, small_config(), Rng(25));
+  MeasurementSimulator sim(env, sensors, {{{47, 71}, 10.0}});
+  Rng noise(26);
+  const auto batch = sim.sample_time_step(noise);
+  for (const auto& m : batch) {
+    (void)f1.process(m);
+    (void)f2.process(m);
+  }
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    ASSERT_EQ(f1.positions()[i], f2.positions()[i]);
+    ASSERT_DOUBLE_EQ(f1.weights()[i], f2.weights()[i]);
+  }
+}
+
+TEST(FusionFilter, IterationCounterAdvances) {
+  const Environment env = test_env();
+  const auto sensors = test_sensors(env);
+  FusionParticleFilter filter(env, sensors, small_config(), Rng(27));
+  EXPECT_EQ(filter.iteration(), 0u);
+  (void)filter.process({0, 5.0});
+  (void)filter.process({1, 5.0});
+  EXPECT_EQ(filter.iteration(), 2u);
+}
+
+TEST(FusionFilter, KnownObstacleModeChangesLikelihood) {
+  // With use_known_obstacles the filter should converge even when a wall
+  // blocks most sensors' view — it models the attenuation explicitly.
+  Environment env(make_area(100, 100), {Obstacle(make_rect(30, 0, 34, 100), 0.2)});
+  auto sensors = test_sensors(env, 5.0);
+
+  FilterConfig cfg = small_config();
+  cfg.use_known_obstacles = true;
+  FusionParticleFilter aware(env, sensors, cfg, Rng(28));
+  cfg.use_known_obstacles = false;
+  FusionParticleFilter naive(env, sensors, cfg, Rng(28));
+
+  MeasurementSimulator sim(env, sensors, {{{15, 50}, 100.0}});
+  Rng noise(29);
+  for (int step = 0; step < 10; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) {
+      (void)aware.process(m);
+      (void)naive.process(m);
+    }
+  }
+  // Both should find the source; the aware filter at least as well.
+  const double aware_mass = mass_near(aware, {15, 50}, 15.0);
+  EXPECT_GT(aware_mass, 0.2);
+}
+
+}  // namespace
+}  // namespace radloc

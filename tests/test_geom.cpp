@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "radloc/common/math.hpp"
+#include "radloc/geom/grid_index.hpp"
+#include "radloc/geom/intersect.hpp"
+#include "radloc/geom/polygon.hpp"
+#include "radloc/geom/segment.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(Segment, LengthAndInterpolation) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.at(0.0), (Point2{0, 0}));
+  EXPECT_EQ(s.at(1.0), (Point2{3, 4}));
+  EXPECT_EQ(s.at(0.5), (Point2{1.5, 2.0}));
+}
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Polygon, RectContainment) {
+  const Polygon r = make_rect(10, 20, 30, 40);
+  EXPECT_TRUE(r.contains({20, 30}));
+  EXPECT_TRUE(r.contains({10.01, 20.01}));
+  EXPECT_FALSE(r.contains({9.99, 30}));
+  EXPECT_FALSE(r.contains({20, 40.01}));
+  EXPECT_FALSE(r.contains({100, 100}));
+}
+
+TEST(Polygon, RectAabbAndArea) {
+  const Polygon r = make_rect(10, 20, 30, 40);
+  EXPECT_EQ(r.aabb().min, (Point2{10, 20}));
+  EXPECT_EQ(r.aabb().max, (Point2{30, 40}));
+  EXPECT_DOUBLE_EQ(std::abs(r.signed_area()), 400.0);
+}
+
+TEST(Polygon, UShapeContainment) {
+  // U from (0,0) to (30,30), walls 5 thick, opening at the top.
+  const Polygon u = make_u_shape(0, 0, 30, 30, 5.0);
+  EXPECT_TRUE(u.contains({2.5, 15}));    // left wall
+  EXPECT_TRUE(u.contains({27.5, 15}));   // right wall
+  EXPECT_TRUE(u.contains({15, 2.5}));    // bottom wall
+  EXPECT_FALSE(u.contains({15, 15}));    // the cavity
+  EXPECT_FALSE(u.contains({15, 29}));    // the opening
+  EXPECT_FALSE(u.contains({-1, 15}));    // outside
+}
+
+TEST(Polygon, UShapeAreaEqualsWalls) {
+  const Polygon u = make_u_shape(0, 0, 30, 30, 5.0);
+  // bottom 30x5 + two walls 5x25 each.
+  EXPECT_NEAR(std::abs(u.signed_area()), 150.0 + 2.0 * 125.0, 1e-9);
+}
+
+TEST(Polygon, UShapeRejectsBadDimensions) {
+  EXPECT_THROW(make_u_shape(0, 0, 8, 30, 5.0), std::invalid_argument);
+}
+
+TEST(SegmentIntersection, BasicCross) {
+  const auto t = segment_intersection_param({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(SegmentIntersection, ParallelReturnsNull) {
+  EXPECT_FALSE(segment_intersection_param({{0, 0}, {10, 0}}, {{0, 1}, {10, 1}}).has_value());
+}
+
+TEST(SegmentIntersection, DisjointReturnsNull) {
+  EXPECT_FALSE(segment_intersection_param({{0, 0}, {1, 1}}, {{5, 0}, {6, 1}}).has_value());
+}
+
+TEST(ChordLength, FullCrossingOfRect) {
+  const Polygon r = make_rect(10, 0, 20, 100);
+  // Horizontal segment crossing the 10-unit-wide slab.
+  EXPECT_NEAR(chord_length({{0, 50}, {30, 50}}, r), 10.0, 1e-9);
+}
+
+TEST(ChordLength, DiagonalCrossing) {
+  const Polygon r = make_rect(0, 0, 10, 10);
+  EXPECT_NEAR(chord_length({{-5, -5}, {15, 15}}, r), 10.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(ChordLength, EndpointInside) {
+  const Polygon r = make_rect(0, 0, 10, 10);
+  // Starts at the center, exits right: 5 units inside.
+  EXPECT_NEAR(chord_length({{5, 5}, {20, 5}}, r), 5.0, 1e-9);
+}
+
+TEST(ChordLength, FullyInside) {
+  const Polygon r = make_rect(0, 0, 10, 10);
+  EXPECT_NEAR(chord_length({{2, 5}, {8, 5}}, r), 6.0, 1e-9);
+}
+
+TEST(ChordLength, Miss) {
+  const Polygon r = make_rect(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(chord_length({{0, 20}, {10, 20}}, r), 0.0);
+  EXPECT_DOUBLE_EQ(chord_length({{-5, -5}, {-1, -1}}, r), 0.0);
+}
+
+TEST(ChordLength, NonConvexCountsBothWalls) {
+  // Segment through both walls of the U (cavity excluded).
+  const Polygon u = make_u_shape(0, 0, 30, 30, 5.0);
+  EXPECT_NEAR(chord_length({{-10, 15}, {40, 15}}, u), 10.0, 1e-9);
+}
+
+/// Property sweep: chord length is invariant under translation and under
+/// reversing the segment, and never exceeds the segment length.
+class ChordProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChordProperties, InvariantsHoldForRandomSegments) {
+  Rng rng(GetParam());
+  const Polygon poly = make_u_shape(20, 20, 80, 70, 8.0);
+  const AreaBounds area = make_area(100, 100);
+  for (int i = 0; i < 200; ++i) {
+    const Segment s{uniform_point(rng, area), uniform_point(rng, area)};
+    const double l = chord_length(s, poly);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, s.length() + 1e-9);
+    // Reversal symmetry.
+    EXPECT_NEAR(chord_length({s.b, s.a}, poly), l, 1e-9);
+    // Translation invariance (translate both by the same offset).
+    const Point2 offset{13.7, -4.2};
+    std::vector<Point2> moved;
+    for (const auto& v : poly.vertices()) moved.push_back(v + offset);
+    const Polygon poly_moved(std::move(moved));
+    EXPECT_NEAR(chord_length({s.a + offset, s.b + offset}, poly_moved), l, 1e-9);
+  }
+}
+
+TEST_P(ChordProperties, AdditiveUnderSplitting) {
+  Rng rng(GetParam() ^ 0xABCD);
+  const Polygon poly = make_rect(30, 30, 70, 70);
+  const AreaBounds area = make_area(100, 100);
+  for (int i = 0; i < 200; ++i) {
+    const Segment s{uniform_point(rng, area), uniform_point(rng, area)};
+    const Point2 mid = s.at(0.5);
+    const double whole = chord_length(s, poly);
+    const double halves = chord_length({s.a, mid}, poly) + chord_length({mid, s.b}, poly);
+    EXPECT_NEAR(whole, halves, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChordProperties, ::testing::Values(1u, 2u, 3u));
+
+TEST(GridIndex, FindsAllPointsInRadius) {
+  Rng rng(99);
+  const AreaBounds area = make_area(100, 100);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back(uniform_point(rng, area));
+
+  GridIndex index(area, 10.0);
+  index.rebuild(pts);
+
+  const Point2 center{40, 60};
+  const double radius = 17.0;
+  std::vector<std::uint32_t> found;
+  index.query_radius(pts, center, radius, found);
+
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    if (distance(pts[i], center) <= radius) expected.push_back(i);
+  }
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, expected);
+}
+
+TEST(GridIndex, HandlesPointsOutsideBounds) {
+  const AreaBounds area = make_area(10, 10);
+  std::vector<Point2> pts{{-5, -5}, {15, 15}, {5, 5}};
+  GridIndex index(area, 2.0);
+  index.rebuild(pts);
+  std::vector<std::uint32_t> found;
+  index.query_radius(pts, {-5, -5}, 1.0, found);
+  EXPECT_EQ(found, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GridIndex, EmptyAndRebuild) {
+  const AreaBounds area = make_area(10, 10);
+  GridIndex index(area, 1.0);
+  index.rebuild({});
+  EXPECT_EQ(index.size(), 0u);
+  std::vector<std::uint32_t> found;
+  index.query_radius({}, {5, 5}, 100.0, found);
+  EXPECT_TRUE(found.empty());
+
+  const std::vector<Point2> pts{{1, 1}, {9, 9}};
+  index.rebuild(pts);
+  EXPECT_EQ(index.size(), 2u);
+  index.query_radius(pts, {0, 0}, 2.0, found);
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST(GridIndex, RejectsBadConstruction) {
+  EXPECT_THROW(GridIndex(make_area(10, 10), 0.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex(AreaBounds{{0, 0}, {0, 10}}, 1.0), std::invalid_argument);
+}
+
+TEST(AabbSegmentOverlap, Basics) {
+  const AreaBounds box{{0, 0}, {10, 10}};
+  EXPECT_TRUE(aabb_overlaps_segment(box, {{-5, 5}, {15, 5}}));
+  EXPECT_TRUE(aabb_overlaps_segment(box, {{5, 5}, {6, 6}}));
+  EXPECT_FALSE(aabb_overlaps_segment(box, {{20, 20}, {30, 30}}));
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,279 @@
+// Cross-module property suites: randomized invariants and failure
+// injection that single-module tests don't cover.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/matching.hpp"
+#include "radloc/geom/intersect.hpp"
+#include "radloc/geom/shapes.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+#include "radloc/rng/distributions.hpp"
+#include "radloc/sensornet/delivery.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+namespace {
+
+// ---------------------------------------------------------------- matching
+
+/// Matching accounting identity: matched + FN = #sources and
+/// matched + FP = #estimates, for arbitrary random configurations.
+class MatchingProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperties, AccountingIdentities) {
+  Rng rng(GetParam());
+  const AreaBounds area = make_area(100, 100);
+  for (int round = 0; round < 100; ++round) {
+    const auto ns = static_cast<std::size_t>(uniform_index(rng, 6));
+    const auto ne = static_cast<std::size_t>(uniform_index(rng, 6));
+    std::vector<Source> truth;
+    for (std::size_t i = 0; i < ns; ++i) truth.push_back({uniform_point(rng, area), 10.0});
+    std::vector<SourceEstimate> est;
+    for (std::size_t i = 0; i < ne; ++i) est.push_back({uniform_point(rng, area), 10.0, 1.0});
+
+    const double gate = uniform(rng, 5.0, 60.0);
+    const auto r = match_estimates(truth, est, gate);
+
+    std::size_t matched = 0;
+    for (const auto& e : r.error) {
+      if (e) {
+        ++matched;
+        EXPECT_LE(*e, gate);
+      }
+    }
+    EXPECT_EQ(matched + r.false_negatives, ns);
+    EXPECT_EQ(matched + r.false_positives, ne);
+
+    // One-to-one: no estimate is matched twice.
+    std::vector<std::size_t> used;
+    for (const auto& m : r.matched_estimate) {
+      if (m) used.push_back(*m);
+    }
+    std::sort(used.begin(), used.end());
+    EXPECT_EQ(std::adjacent_find(used.begin(), used.end()), used.end());
+  }
+}
+
+TEST_P(MatchingProperties, GateMonotonicity) {
+  // A wider gate never increases FN.
+  Rng rng(GetParam() ^ 0xF00D);
+  const AreaBounds area = make_area(100, 100);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Source> truth;
+    std::vector<SourceEstimate> est;
+    for (int i = 0; i < 4; ++i) truth.push_back({uniform_point(rng, area), 10.0});
+    for (int i = 0; i < 4; ++i) est.push_back({uniform_point(rng, area), 10.0, 1.0});
+    const auto narrow = match_estimates(truth, est, 20.0);
+    const auto wide = match_estimates(truth, est, 60.0);
+    EXPECT_LE(wide.false_negatives, narrow.false_negatives);
+    EXPECT_LE(wide.false_positives, narrow.false_positives);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperties, ::testing::Values(11u, 22u, 33u));
+
+// ----------------------------------------------------------- physics model
+
+class PhysicsProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhysicsProperties, TransmissionBoundedAndMonotone) {
+  Rng rng(GetParam());
+  Environment env(make_area(100, 100));
+  env.add_obstacle(Obstacle(make_regular_polygon({50, 50}, 15.0, 12), 0.05));
+  env.add_obstacle(Obstacle(make_wall({10, 80}, {90, 80}, 4.0), 0.1));
+
+  const AreaBounds area = make_area(100, 100);
+  for (int i = 0; i < 300; ++i) {
+    const Segment seg{uniform_point(rng, area), uniform_point(rng, area)};
+    const double t = env.transmission(seg);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 1.0);
+    // Attenuation is additive over obstacles: single-obstacle environments
+    // transmit at least as much.
+    Environment only_first(area, {env.obstacles()[0]});
+    EXPECT_LE(t, only_first.transmission(seg) + 1e-12);
+  }
+}
+
+TEST_P(PhysicsProperties, SuperpositionAdditivity) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  Environment env(make_area(100, 100));
+  const SensorResponse resp{kDefaultEfficiency, 7.0};
+  for (int i = 0; i < 200; ++i) {
+    const Point2 at = uniform_point(rng, env.bounds());
+    const Source a{uniform_point(rng, env.bounds()), uniform(rng, 1.0, 100.0)};
+    const Source b{uniform_point(rng, env.bounds()), uniform(rng, 1.0, 100.0)};
+    const std::vector<Source> both{a, b};
+    const double together = expected_cpm(at, both, env, resp);
+    const double separate = expected_cpm_single(at, a, env, resp) +
+                            expected_cpm_single(at, b, env, resp) - resp.background_cpm;
+    EXPECT_NEAR(together, separate, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicsProperties, ::testing::Values(5u, 6u));
+
+// ------------------------------------------------------- filter robustness
+
+/// The filter's invariants must survive arbitrary interleavings of valid
+/// measurements, including adversarial ones.
+class FilterRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilterRobustness, InvariantsUnderRandomMeasurementSoup) {
+  Rng rng(GetParam());
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 5, 5);
+  set_background(sensors, 5.0);
+  FilterConfig cfg;
+  cfg.num_particles = 800;
+  FusionParticleFilter filter(env, sensors, cfg, Rng(GetParam() ^ 1));
+
+  for (int i = 0; i < 400; ++i) {
+    // Random sensor, wildly random reading (including zeros and huge).
+    const auto sensor = static_cast<SensorId>(uniform_index(rng, sensors.size()));
+    double cpm = 0.0;
+    switch (uniform_index(rng, 4)) {
+      case 0: cpm = 0.0; break;
+      case 1: cpm = uniform(rng, 0.0, 20.0); break;
+      case 2: cpm = uniform(rng, 0.0, 2000.0); break;
+      default: cpm = uniform(rng, 0.0, 2e5); break;
+    }
+    (void)filter.process({sensor, std::floor(cpm)});
+
+    const auto w = filter.weights();
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    ASSERT_NEAR(total, 1.0, 1e-6) << "iteration " << i;
+    for (const double v : w) ASSERT_GE(v, 0.0);
+    for (const auto& p : filter.positions()) ASSERT_TRUE(env.bounds().contains(p));
+    for (const double s : filter.strengths()) {
+      ASSERT_GE(s, cfg.strength_min);
+      ASSERT_LE(s, cfg.strength_max);
+    }
+  }
+  EXPECT_EQ(filter.size(), 800u);
+  EXPECT_EQ(filter.iteration(), 400u);
+}
+
+TEST_P(FilterRobustness, LocalizerEndToEndUnderSensorChaos) {
+  // Half the measurements dropped, order shuffled, two sensors stuck at 0,
+  // one reading train duplicated: the localizer must stay numerically sane
+  // and still find a strong source.
+  const std::uint64_t seed = GetParam();
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+  const std::vector<Source> truth{{{60, 60}, 80.0}};
+  MeasurementSimulator sim(env, sensors, truth);
+  MultiSourceLocalizer loc(env, sensors, LocalizerConfig{}, seed);
+  Rng rng(seed ^ 0x77);
+
+  for (int t = 0; t < 15; ++t) {
+    auto batch = sim.sample_time_step(rng);
+    for (auto& m : batch) {
+      if (m.sensor == 3 || m.sensor == 30) m.cpm = 0.0;  // stuck sensors
+    }
+    // Drop half.
+    std::erase_if(batch, [&](const Measurement&) { return uniform01(rng) < 0.5; });
+    // Duplicate a few (retransmissions).
+    const std::size_t dup = batch.size() / 4;
+    for (std::size_t i = 0; i < dup; ++i) batch.push_back(batch[i]);
+    // Shuffle.
+    for (std::size_t i = batch.size(); i > 1; --i) {
+      std::swap(batch[i - 1], batch[uniform_index(rng, i)]);
+    }
+    loc.process_all(batch);
+  }
+  const auto match = match_estimates(truth, loc.estimate());
+  EXPECT_EQ(match.false_negatives, 0u);
+  ASSERT_TRUE(match.error[0].has_value());
+  EXPECT_LT(*match.error[0], 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterRobustness, ::testing::Values(101u, 202u, 303u));
+
+// --------------------------------------------------- mean-shift kernel par
+
+TEST(KernelVariants, EpanechnikovFindsSameClusters) {
+  Rng rng(9);
+  std::vector<Point2> pos;
+  std::vector<double> str;
+  std::vector<double> w;
+  for (const auto& c : {Point2{25, 25}, Point2{75, 75}}) {
+    for (int i = 0; i < 500; ++i) {
+      pos.push_back({c.x + normal(rng, 0, 2.5), c.y + normal(rng, 0, 2.5)});
+      str.push_back(20.0 * std::exp(normal(rng, 0, 0.1)));
+      w.push_back(1e-3);
+    }
+  }
+  ThreadPool pool(1);
+  for (const auto kernel : {KernelType::kGaussian, KernelType::kEpanechnikov}) {
+    MeanShiftConfig cfg;
+    cfg.kernel = kernel;
+    cfg.min_support = 0.1;
+    MeanShiftEstimator est(make_area(100, 100), cfg, pool);
+    const auto modes = est.estimate(pos, str, w);
+    ASSERT_EQ(modes.size(), 2u) << "kernel " << static_cast<int>(kernel);
+    for (const auto& m : modes) {
+      const double d = std::min(distance(m.pos, {25, 25}), distance(m.pos, {75, 75}));
+      EXPECT_LT(d, 2.0);
+    }
+  }
+}
+
+// ------------------------------------------------------ delivery composure
+
+class DeliveryComposition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeliveryComposition, NoDeliveryModelInventsMeasurements) {
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<DeliveryModel>> models;
+  models.push_back(std::make_unique<InOrderDelivery>());
+  models.push_back(std::make_unique<ShuffledDelivery>());
+  models.push_back(std::make_unique<LossyDelivery>(0.3, std::make_unique<ShuffledDelivery>()));
+  models.push_back(std::make_unique<RandomLatencyDelivery>(1.5));
+  models.push_back(std::make_unique<LossyDelivery>(
+      0.2, std::make_unique<RandomLatencyDelivery>(2.0)));
+
+  for (auto& model : models) {
+    std::size_t sent = 0;
+    std::size_t got = 0;
+    for (int step = 0; step < 30; ++step) {
+      std::vector<Measurement> batch;
+      const auto n = uniform_index(rng, 20);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        batch.push_back({static_cast<SensorId>(i), uniform(rng, 0, 100)});
+      }
+      sent += batch.size();
+      got += model->deliver(rng, std::move(batch)).size();
+    }
+    got += model->drain().size();
+    EXPECT_LE(got, sent);  // loss allowed, invention never
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryComposition, ::testing::Values(7u, 8u));
+
+// ------------------------------------------------------------ geometry mix
+
+TEST(GeometryComposition, ChordThroughCompositeSceneIsSubadditive) {
+  // Total chord through several disjoint obstacles equals the sum of the
+  // individual chords (obstacles do not overlap).
+  const Polygon a = make_rect(10, 0, 20, 100);
+  const Polygon b = make_regular_polygon({60, 50}, 8.0, 24);
+  const Polygon c = make_wall({80, 10}, {80, 90}, 4.0);
+  Rng rng(123);
+  const AreaBounds area = make_area(100, 100);
+  for (int i = 0; i < 300; ++i) {
+    const Segment seg{uniform_point(rng, area), uniform_point(rng, area)};
+    const double total = chord_length(seg, a) + chord_length(seg, b) + chord_length(seg, c);
+    EXPECT_LE(total, seg.length() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace radloc

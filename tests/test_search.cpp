@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radloc/eval/matching.hpp"
+#include "radloc/search/mobile_searcher.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+namespace {
+
+/// Oracle backed by the ground-truth simulator.
+class SimOracle final : public MeasurementOracle {
+ public:
+  SimOracle(const MeasurementSimulator& sim, std::uint64_t seed) : sim_(&sim), rng_(seed) {}
+
+  double read_cpm(const Point2& at, const SensorResponse& response) override {
+    return sim_->sample_at(rng_, at, response);
+  }
+
+ private:
+  const MeasurementSimulator* sim_;
+  Rng rng_;
+};
+
+SearcherConfig small_searcher() {
+  SearcherConfig cfg;
+  cfg.filter.num_particles = 1500;
+  cfg.max_steps = 250;
+  return cfg;
+}
+
+TEST(MobileSearcher, ConfigValidation) {
+  Environment env(make_area(100, 100));
+  SearcherConfig cfg = small_searcher();
+  cfg.speed = 0.0;
+  EXPECT_THROW(MobileSearcher(env, cfg, Rng(1)), std::invalid_argument);
+  cfg = small_searcher();
+  cfg.candidate_directions = 2;
+  EXPECT_THROW(MobileSearcher(env, cfg, Rng(1)), std::invalid_argument);
+  cfg = small_searcher();
+  cfg.max_steps = 0;
+  EXPECT_THROW(MobileSearcher(env, cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(MobileSearcher, FindsSingleSource) {
+  Environment env(make_area(100, 100));
+  const std::vector<Source> truth{{{70, 65}, 50.0}};
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, truth);
+  SimOracle oracle(sim, 2);
+
+  MobileSearcher searcher(env, small_searcher(), Rng(3));
+  const auto result = searcher.search({10, 10}, oracle);
+
+  EXPECT_TRUE(result.converged);
+  ASSERT_FALSE(result.estimates.empty());
+  EXPECT_LT(distance(result.estimates[0].pos, truth[0].pos), 8.0);
+  EXPECT_GT(result.distance_travelled, 0.0);
+  EXPECT_FALSE(result.path.empty());
+}
+
+TEST(MobileSearcher, PathStaysInBounds) {
+  Environment env(make_area(100, 100));
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, {{{90, 90}, 80.0}});
+  SimOracle oracle(sim, 4);
+  MobileSearcher searcher(env, small_searcher(), Rng(5));
+  const auto result = searcher.search({5, 95}, oracle);
+  for (const auto& s : result.path) {
+    EXPECT_TRUE(env.bounds().contains(s.position));
+  }
+}
+
+TEST(MobileSearcher, SpeedLimitsPerStepTravel) {
+  Environment env(make_area(100, 100));
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, {{{80, 20}, 60.0}});
+  SimOracle oracle(sim, 6);
+  SearcherConfig cfg = small_searcher();
+  cfg.speed = 3.0;
+  MobileSearcher searcher(env, cfg, Rng(7));
+
+  searcher.set_position({50, 50});
+  Point2 prev = searcher.position();
+  for (int i = 0; i < 30; ++i) {
+    (void)searcher.step(oracle);
+    EXPECT_LE(distance(prev, searcher.position()), 3.0 + 1e-9);
+    prev = searcher.position();
+  }
+}
+
+TEST(MobileSearcher, SpreadShrinksDuringSearch) {
+  Environment env(make_area(100, 100));
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, {{{30, 70}, 60.0}});
+  SimOracle oracle(sim, 8);
+  MobileSearcher searcher(env, small_searcher(), Rng(9));
+  const auto result = searcher.search({90, 10}, oracle);
+  ASSERT_GT(result.path.size(), 5u);
+  EXPECT_LT(result.path.back().spread, result.path.front().spread);
+}
+
+TEST(MobileSearcher, TwoSourcesBothRepresented) {
+  // The fusion-range update keeps the posterior multimodal even for a
+  // single mobile detector; a long-enough patrol localizes both.
+  Environment env(make_area(100, 100));
+  const std::vector<Source> truth{{{25, 75}, 60.0}, {{75, 25}, 60.0}};
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, truth);
+  SimOracle oracle(sim, 10);
+
+  SearcherConfig cfg = small_searcher();
+  cfg.max_steps = 500;
+  cfg.stop_spread = 0.0;  // never stop early: full patrol
+  MobileSearcher searcher(env, cfg, Rng(11));
+  const auto result = searcher.search({50, 50}, oracle);
+
+  const auto match = match_estimates(truth, result.estimates);
+  EXPECT_LE(match.false_negatives, 1u);  // at least one found, usually both
+  ASSERT_FALSE(result.estimates.empty());
+}
+
+TEST(MobileSearcher, ObstacleWorldStillConverges) {
+  Environment env(make_area(100, 100),
+                  {Obstacle(make_rect(45, 20, 55, 80), 0.2)});
+  MeasurementSimulator sim(env, {{0, {0, 0}, {}}}, {{{75, 50}, 60.0}});
+  SimOracle oracle(sim, 12);
+  MobileSearcher searcher(env, small_searcher(), Rng(13));  // obstacle-agnostic
+  const auto result = searcher.search({15, 50}, oracle);
+  ASSERT_FALSE(result.estimates.empty());
+  EXPECT_LT(distance(result.estimates[0].pos, {75, 50}), 12.0);
+}
+
+}  // namespace
+}  // namespace radloc

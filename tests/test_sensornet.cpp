@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "radloc/common/math.hpp"
+#include "radloc/sensornet/delivery.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(Placement, GridCoversAreaUniformly) {
+  const AreaBounds area = make_area(100, 100);
+  const auto sensors = place_grid(area, 6, 6);
+  ASSERT_EQ(sensors.size(), 36u);
+  // Corners present.
+  EXPECT_EQ(sensors.front().pos, (Point2{0, 0}));
+  EXPECT_EQ(sensors.back().pos, (Point2{100, 100}));
+  // 20-unit pitch.
+  EXPECT_EQ(sensors[1].pos, (Point2{20, 0}));
+  EXPECT_EQ(sensors[6].pos, (Point2{0, 20}));
+  // Dense ids in order.
+  for (std::size_t i = 0; i < sensors.size(); ++i) EXPECT_EQ(sensors[i].id, i);
+}
+
+TEST(Placement, GridRejectsTooFew) {
+  EXPECT_THROW((void)place_grid(make_area(10, 10), 1, 5), std::invalid_argument);
+}
+
+TEST(Placement, PoissonCountAndBounds) {
+  Rng rng(7);
+  const AreaBounds area = make_area(260, 260);
+  const auto sensors = place_poisson(rng, area, 195);
+  ASSERT_EQ(sensors.size(), 195u);
+  for (const auto& s : sensors) EXPECT_TRUE(area.contains(s.pos));
+}
+
+TEST(Placement, SetBackgroundAppliesToAll) {
+  auto sensors = place_grid(make_area(100, 100), 3, 3);
+  set_background(sensors, 50.0);
+  for (const auto& s : sensors) EXPECT_DOUBLE_EQ(s.response.background_cpm, 50.0);
+}
+
+TEST(Simulator, ExpectedRateMatchesModel) {
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 2, 2);
+  set_background(sensors, 5.0);
+  const std::vector<Source> sources{{{0, 0}, 10.0}};
+  MeasurementSimulator sim(env, sensors, sources);
+
+  // Sensor 0 is at the source: rate = C*E*10 + 5.
+  EXPECT_NEAR(sim.expected_cpm_at(0),
+              kMicroCurieToCpm * kDefaultEfficiency * 10.0 + 5.0, 1e-9);
+  // Sensor 3 is at (100,100), r^2 = 20000.
+  EXPECT_NEAR(sim.expected_cpm_at(3),
+              kMicroCurieToCpm * kDefaultEfficiency * 10.0 / 20001.0 + 5.0, 1e-9);
+}
+
+TEST(Simulator, SampleMeanConvergesToRate) {
+  Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 2, 2);
+  set_background(sensors, 5.0);
+  MeasurementSimulator sim(env, sensors, {{{50, 50}, 20.0}});
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(sim.sample(rng, 0).cpm);
+  const double rate = sim.expected_cpm_at(0);
+  EXPECT_NEAR(rs.mean(), rate, 5.0 * std::sqrt(rate / 20000.0));
+}
+
+TEST(Simulator, TimeStepProducesOnePerLiveSensor) {
+  Environment env(make_area(100, 100));
+  const auto sensors = place_grid(env.bounds(), 3, 3);
+  MeasurementSimulator sim(env, sensors, {{{50, 50}, 10.0}});
+  Rng rng(12);
+  auto batch = sim.sample_time_step(rng);
+  EXPECT_EQ(batch.size(), 9u);
+
+  sim.kill_sensor(4);
+  EXPECT_TRUE(sim.is_dead(4));
+  batch = sim.sample_time_step(rng);
+  EXPECT_EQ(batch.size(), 8u);
+  EXPECT_TRUE(std::none_of(batch.begin(), batch.end(),
+                           [](const Measurement& m) { return m.sensor == 4; }));
+}
+
+TEST(Simulator, ObstacleReducesExpectedRate) {
+  Environment blocked(make_area(100, 100),
+                      {Obstacle(make_rect(40, 0, 60, 100), 0.0693)});
+  Environment open = blocked.without_obstacles();
+  auto sensors = place_grid(make_area(100, 100), 2, 2);
+  const std::vector<Source> sources{{{0, 50}, 100.0}};
+
+  MeasurementSimulator sim_blocked(blocked, sensors, sources);
+  MeasurementSimulator sim_open(open, sensors, sources);
+  // Sensor 1 at (100, 0): path crosses the slab.
+  EXPECT_LT(sim_blocked.expected_cpm_at(1), sim_open.expected_cpm_at(1));
+  // Sensor 0 at (0, 0): path does not cross.
+  EXPECT_DOUBLE_EQ(sim_blocked.expected_cpm_at(0), sim_open.expected_cpm_at(0));
+}
+
+TEST(Simulator, RejectsUnorderedSensorIds) {
+  Environment env(make_area(10, 10));
+  std::vector<Sensor> bad{{3, {0, 0}, {}}, {1, {1, 1}, {}}};
+  EXPECT_THROW(MeasurementSimulator(env, bad, {}), std::invalid_argument);
+}
+
+TEST(Delivery, InOrderIsIdentity) {
+  Rng rng(1);
+  InOrderDelivery d;
+  std::vector<Measurement> batch{{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  const auto out = d.deliver(rng, batch);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].sensor, batch[i].sensor);
+}
+
+TEST(Delivery, ShuffledIsPermutation) {
+  Rng rng(2);
+  ShuffledDelivery d;
+  std::vector<Measurement> batch;
+  for (SensorId i = 0; i < 50; ++i) batch.push_back({i, static_cast<double>(i)});
+  const auto out = d.deliver(rng, batch);
+  ASSERT_EQ(out.size(), batch.size());
+  std::vector<SensorId> ids;
+  for (const auto& m : out) ids.push_back(m.sensor);
+  std::sort(ids.begin(), ids.end());
+  for (SensorId i = 0; i < 50; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(Delivery, ShuffledActuallyReorders) {
+  Rng rng(3);
+  ShuffledDelivery d;
+  std::vector<Measurement> batch;
+  for (SensorId i = 0; i < 100; ++i) batch.push_back({i, 0.0});
+  const auto out = d.deliver(rng, batch);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].sensor != i) ++moved;
+  }
+  EXPECT_GT(moved, 50u);
+}
+
+TEST(Delivery, LossyDropsExpectedFraction) {
+  Rng rng(4);
+  LossyDelivery d(0.3, std::make_unique<InOrderDelivery>());
+  std::size_t delivered = 0;
+  constexpr std::size_t rounds = 200;
+  constexpr std::size_t per_round = 100;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Measurement> batch(per_round);
+    delivered += d.deliver(rng, batch).size();
+  }
+  const double frac = static_cast<double>(delivered) / (rounds * per_round);
+  EXPECT_NEAR(frac, 0.7, 0.02);
+}
+
+TEST(Delivery, LossyRejectsBadRate) {
+  EXPECT_THROW(LossyDelivery(1.0, std::make_unique<InOrderDelivery>()), std::invalid_argument);
+  EXPECT_THROW(LossyDelivery(0.5, nullptr), std::invalid_argument);
+}
+
+TEST(Delivery, RandomLatencyConservesMeasurements) {
+  Rng rng(5);
+  RandomLatencyDelivery d(2.0);
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  for (std::size_t step = 0; step < 50; ++step) {
+    std::vector<Measurement> batch(10);
+    sent += batch.size();
+    received += d.deliver(rng, std::move(batch)).size();
+  }
+  received += d.drain().size();
+  EXPECT_EQ(d.drain().size(), 0u);  // drain empties the queue
+  EXPECT_EQ(received, sent);
+}
+
+TEST(Delivery, RandomLatencyDelaysOnAverage) {
+  Rng rng(6);
+  RandomLatencyDelivery d(3.0);  // mean 3 steps of delay
+  // Inject one batch, count how many steps it takes to drain naturally.
+  auto first = d.deliver(rng, std::vector<Measurement>(1000));
+  std::size_t received = first.size();
+  std::size_t weighted_delay = 0;
+  for (std::size_t step = 1; step <= 200 && received < 1000; ++step) {
+    const auto out = d.deliver(rng, {});
+    weighted_delay += step * out.size();
+    received += out.size();
+  }
+  ASSERT_EQ(received, 1000u);
+  const double mean_delay = static_cast<double>(weighted_delay) / 1000.0;
+  EXPECT_NEAR(mean_delay, 3.0, 0.4);
+}
+
+TEST(Delivery, ZeroLatencyIsImmediate) {
+  Rng rng(7);
+  RandomLatencyDelivery d(0.0);
+  const auto out = d.deliver(rng, std::vector<Measurement>(25));
+  EXPECT_EQ(out.size(), 25u);
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/geom/intersect.hpp"
+#include "radloc/geom/shapes.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(RegularPolygon, ApproximatesDiscArea) {
+  const Point2 c{50, 50};
+  const double r = 10.0;
+  const Polygon p = make_regular_polygon(c, r, 32);
+  EXPECT_EQ(p.size(), 32u);
+  // n-gon area = 0.5 n r^2 sin(2pi/n), close to pi r^2 for n = 32.
+  const double expected = 0.5 * 32 * r * r * std::sin(2.0 * kPi / 32);
+  EXPECT_NEAR(std::abs(p.signed_area()), expected, 1e-9);
+  EXPECT_NEAR(std::abs(p.signed_area()), kPi * r * r, 2.5);
+}
+
+TEST(RegularPolygon, ContainsCenterNotOutside) {
+  const Polygon p = make_regular_polygon({0, 0}, 5.0, 16);
+  EXPECT_TRUE(p.contains({0, 0}));
+  EXPECT_TRUE(p.contains({3, 0}));
+  EXPECT_FALSE(p.contains({5.1, 0}));
+  EXPECT_TRUE(is_convex(p));
+}
+
+TEST(RegularPolygon, ChordThroughCenterIsDiameter) {
+  const Polygon p = make_regular_polygon({50, 50}, 10.0, 64);
+  EXPECT_NEAR(chord_length({{30, 50}, {70, 50}}, p), 20.0, 0.1);
+}
+
+TEST(RegularPolygon, Validation) {
+  EXPECT_THROW((void)make_regular_polygon({0, 0}, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)make_regular_polygon({0, 0}, 0.0, 8), std::invalid_argument);
+}
+
+TEST(LShape, AreaAndContainment) {
+  // Arms: horizontal [0,20]x[0,3], vertical [0,4]x[0,15].
+  const Polygon l = make_l_shape(0, 0, 20, 15, 3.0, 4.0);
+  EXPECT_NEAR(std::abs(l.signed_area()), 20 * 3 + 4 * (15 - 3), 1e-9);
+  EXPECT_TRUE(l.contains({10, 1.5}));   // horizontal arm
+  EXPECT_TRUE(l.contains({2, 10}));     // vertical arm
+  EXPECT_FALSE(l.contains({10, 10}));   // the notch
+  EXPECT_FALSE(is_convex(l));
+}
+
+TEST(LShape, Validation) {
+  EXPECT_THROW((void)make_l_shape(0, 0, 3, 15, 3.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)make_l_shape(0, 0, 20, 15, 0.0, 4.0), std::invalid_argument);
+}
+
+TEST(Wall, OrientedRectangleGeometry) {
+  const Polygon w = make_wall({0, 0}, {10, 0}, 2.0);
+  EXPECT_NEAR(std::abs(w.signed_area()), 20.0, 1e-9);
+  EXPECT_TRUE(w.contains({5, 0.9}));
+  EXPECT_TRUE(w.contains({5, -0.9}));
+  EXPECT_FALSE(w.contains({5, 1.1}));
+
+  // Diagonal wall: crossing it orthogonally traverses the thickness.
+  const Polygon d = make_wall({0, 0}, {10, 10}, 2.0);
+  EXPECT_NEAR(chord_length({{7, 3}, {3, 7}}, d), 2.0, 1e-9);
+}
+
+TEST(Wall, Validation) {
+  EXPECT_THROW((void)make_wall({1, 1}, {1, 1}, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)make_wall({0, 0}, {1, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(Transforms, TranslationMovesAabb) {
+  const Polygon p = make_rect(0, 0, 10, 5);
+  const Polygon t = translated(p, {100, 50});
+  EXPECT_EQ(t.aabb().min, (Point2{100, 50}));
+  EXPECT_EQ(t.aabb().max, (Point2{110, 55}));
+  EXPECT_NEAR(std::abs(t.signed_area()), std::abs(p.signed_area()), 1e-9);
+}
+
+TEST(Transforms, RotationPreservesAreaAndPivot) {
+  const Polygon p = make_rect(0, 0, 10, 4);
+  const Point2 pivot{5, 2};
+  const Polygon r = rotated(p, kPi / 2.0, pivot);
+  EXPECT_NEAR(std::abs(r.signed_area()), 40.0, 1e-9);
+  EXPECT_TRUE(r.contains(pivot));
+  // 90-degree rotation swaps extents around the pivot.
+  EXPECT_NEAR(r.aabb().width(), 4.0, 1e-9);
+  EXPECT_NEAR(r.aabb().height(), 10.0, 1e-9);
+}
+
+TEST(Transforms, FullTurnIsIdentity) {
+  const Polygon p = make_regular_polygon({3, 4}, 2.0, 7);
+  const Polygon r = rotated(p, 2.0 * kPi, {0, 0});
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(r.vertices()[i].x, p.vertices()[i].x, 1e-9);
+    EXPECT_NEAR(r.vertices()[i].y, p.vertices()[i].y, 1e-9);
+  }
+}
+
+TEST(Centroid, RectAndTriangle) {
+  EXPECT_EQ(centroid(make_rect(0, 0, 10, 4)), (Point2{5, 2}));
+  const Polygon tri({{0, 0}, {6, 0}, {0, 6}});
+  const Point2 c = centroid(tri);
+  EXPECT_NEAR(c.x, 2.0, 1e-9);
+  EXPECT_NEAR(c.y, 2.0, 1e-9);
+}
+
+TEST(Centroid, InvariantUnderRotationAboutCentroid) {
+  const Polygon p = make_l_shape(0, 0, 20, 15, 3.0, 4.0);
+  const Point2 c = centroid(p);
+  const Point2 c2 = centroid(rotated(p, 1.0, c));
+  EXPECT_NEAR(c2.x, c.x, 1e-9);
+  EXPECT_NEAR(c2.y, c.y, 1e-9);
+}
+
+TEST(Convexity, Classification) {
+  EXPECT_TRUE(is_convex(make_rect(0, 0, 1, 1)));
+  EXPECT_TRUE(is_convex(make_regular_polygon({0, 0}, 1.0, 12)));
+  EXPECT_FALSE(is_convex(make_u_shape(0, 0, 30, 30, 5)));
+  EXPECT_FALSE(is_convex(make_l_shape(0, 0, 20, 15, 3, 4)));
+}
+
+}  // namespace
+}  // namespace radloc

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/eval/stats.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  // Interpolation between ranks.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 1.5);
+}
+
+TEST(Percentile, UnsortedInputAndSingleton) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Bootstrap, IntervalContainsPointAndOrdersCorrectly) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 40; ++i) sample.push_back(normal(rng, 10.0, 2.0));
+  Rng boot(2);
+  const auto ci = bootstrap_mean_ci(sample, boot);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 10.0, 1.5);
+  // Width ~ 2 * 1.96 * sigma/sqrt(n) ~ 1.24.
+  EXPECT_GT(ci.hi - ci.lo, 0.4);
+  EXPECT_LT(ci.hi - ci.lo, 3.0);
+}
+
+TEST(Bootstrap, CoverageNearNominal) {
+  // Repeat small-sample bootstraps; the 95% interval should cover the true
+  // mean in roughly 95% of experiments (allow generous slack for n=25).
+  Rng rng(3);
+  int covered = 0;
+  constexpr int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    std::vector<double> sample;
+    for (int i = 0; i < 25; ++i) sample.push_back(normal(rng, 5.0, 3.0));
+    const auto ci = bootstrap_mean_ci(sample, rng, 0.95, 500);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / experiments;
+  EXPECT_GT(rate, 0.85);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(Bootstrap, DeterministicGivenRng) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  Rng a(7);
+  Rng b(7);
+  const auto ca = bootstrap_mean_ci(sample, a);
+  const auto cb = bootstrap_mean_ci(sample, b);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(Bootstrap, Validation) {
+  Rng rng(1);
+  EXPECT_THROW((void)bootstrap_mean_ci({}, rng), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)bootstrap_mean_ci(v, rng, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(v, rng, 0.95, 2), std::invalid_argument);
+}
+
+TEST(SummaryStats, FiveNumber) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0, 5.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+// --------------------------------------------------------- random scenarios
+
+TEST(RandomScenario, HonorsConfig) {
+  Rng rng(11);
+  RandomScenarioConfig cfg;
+  cfg.num_sources = 4;
+  cfg.num_obstacles = 3;
+  const auto s = make_random_scenario(rng, cfg);
+  EXPECT_EQ(s.sources.size(), 4u);
+  EXPECT_LE(s.env.obstacles().size(), 3u);  // degenerate clamped walls may be dropped
+  EXPECT_EQ(s.sensors.size(), 36u);
+  for (const auto& src : s.sources) {
+    EXPECT_TRUE(s.env.bounds().contains(src.pos));
+    EXPECT_GE(src.strength, cfg.strength_min);
+    EXPECT_LE(src.strength, cfg.strength_max);
+  }
+}
+
+TEST(RandomScenario, SourcesSeparated) {
+  Rng rng(12);
+  RandomScenarioConfig cfg;
+  cfg.num_sources = 3;
+  cfg.min_source_separation = 30.0;
+  const auto s = make_random_scenario(rng, cfg);
+  for (std::size_t i = 0; i < s.sources.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.sources.size(); ++j) {
+      EXPECT_GE(distance(s.sources[i].pos, s.sources[j].pos), 30.0);
+    }
+  }
+}
+
+TEST(RandomScenario, DeterministicGivenRngState) {
+  Rng a(13);
+  Rng b(13);
+  const auto sa = make_random_scenario(a, {});
+  const auto sb = make_random_scenario(b, {});
+  ASSERT_EQ(sa.sources.size(), sb.sources.size());
+  for (std::size_t i = 0; i < sa.sources.size(); ++i) {
+    EXPECT_EQ(sa.sources[i].pos, sb.sources[i].pos);
+    EXPECT_DOUBLE_EQ(sa.sources[i].strength, sb.sources[i].strength);
+  }
+}
+
+TEST(RandomScenario, DifferentDrawsDiffer) {
+  Rng rng(14);
+  const auto s1 = make_random_scenario(rng, {});
+  const auto s2 = make_random_scenario(rng, {});
+  bool any_diff = false;
+  for (std::size_t i = 0; i < s1.sources.size(); ++i) {
+    if (!(s1.sources[i].pos == s2.sources[i].pos)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomScenario, Validation) {
+  Rng rng(15);
+  RandomScenarioConfig cfg;
+  cfg.num_sources = 0;
+  EXPECT_THROW((void)make_random_scenario(rng, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radloc

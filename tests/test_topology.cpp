@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/topology.hpp"
+
+namespace radloc {
+namespace {
+
+/// 3x3 grid over 40x40: pitch 20, so radio range 25 links the 4-neighbors
+/// (and diagonals at ~28.3 are out of range).
+std::vector<Sensor> grid9() { return place_grid(make_area(40, 40), 3, 3); }
+
+TEST(Topology, GridNeighborhood) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, /*base=*/0);
+  // Center sensor (id 4) has the 4 axis neighbors.
+  auto n = topo.neighbors(4);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<SensorId>{1, 3, 5, 7}));
+  // Corner sensor has 2.
+  EXPECT_EQ(topo.neighbors(0).size(), 2u);
+}
+
+TEST(Topology, BfsHopsFromCorner) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  EXPECT_EQ(*topo.hops(0), 0u);
+  EXPECT_EQ(*topo.hops(1), 1u);
+  EXPECT_EQ(*topo.hops(4), 2u);  // manhattan distance on the grid graph
+  EXPECT_EQ(*topo.hops(8), 4u);
+  EXPECT_EQ(topo.connected_count(), 9u);
+  EXPECT_FALSE(topo.parent(0).has_value());
+}
+
+TEST(Topology, RouteWalksToBase) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  const auto route = topo.route(8);
+  ASSERT_EQ(route.size(), 5u);  // 4 hops -> 5 nodes
+  EXPECT_EQ(route.front(), 8u);
+  EXPECT_EQ(route.back(), 0u);
+  // Each consecutive pair must be a graph edge.
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const auto& n = topo.neighbors(route[i]);
+    EXPECT_NE(std::find(n.begin(), n.end(), route[i + 1]), n.end());
+  }
+}
+
+TEST(Topology, ShortRangeDisconnects) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 10.0, 0);  // pitch 20 > range: all isolated
+  EXPECT_EQ(topo.connected_count(), 1u);
+  EXPECT_FALSE(topo.hops(1).has_value());
+  EXPECT_TRUE(topo.route(8).empty());
+}
+
+TEST(Topology, KillingRelayReroutesOrOrphans) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  // Sensor 8's shortest routes go through 5 or 7. Kill both: 8 must still
+  // reach via... no other path (4-neighborhood) -> orphaned.
+  topo.kill(5);
+  EXPECT_TRUE(topo.connected(8));  // still via 7
+  topo.kill(7);
+  EXPECT_FALSE(topo.connected(8));
+  EXPECT_TRUE(topo.connected(4));  // rest of the grid still routed
+  EXPECT_EQ(topo.connected_count(), 6u);  // 9 - two dead - one orphan
+}
+
+TEST(Topology, DeadBaseStationKillsEverything) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  topo.kill(0);
+  EXPECT_EQ(topo.connected_count(), 0u);
+}
+
+TEST(Topology, Validation) {
+  const auto sensors = grid9();
+  EXPECT_THROW(NetworkTopology(sensors, 25.0, 99), std::invalid_argument);
+  EXPECT_THROW(NetworkTopology(sensors, 0.0, 0), std::invalid_argument);
+}
+
+TEST(MultiHop, LosslessDeliveryHonorsHopLatency) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  MultiHopDelivery delivery(topo, /*per_hop_loss=*/0.0, /*slots_per_step=*/1);
+  Rng rng(1);
+
+  // One measurement from the far corner (4 hops): arrives on the 4th step.
+  std::vector<Measurement> batch{{8, 10.0}};
+  EXPECT_TRUE(delivery.deliver(rng, batch).empty());           // 3 hops left
+  EXPECT_TRUE(delivery.deliver(rng, {}).empty());              // 2
+  EXPECT_TRUE(delivery.deliver(rng, {}).empty());              // 1
+  const auto arrived = delivery.deliver(rng, {});
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0].sensor, 8u);
+}
+
+TEST(MultiHop, FastSlotsDeliverSameStep) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  MultiHopDelivery delivery(topo, 0.0, /*slots_per_step=*/8);
+  Rng rng(2);
+  std::vector<Measurement> batch;
+  for (SensorId i = 0; i < 9; ++i) batch.push_back({i, 1.0});
+  EXPECT_EQ(delivery.deliver(rng, batch).size(), 9u);
+}
+
+TEST(MultiHop, OrphansNeverArrive) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  topo.kill(5);
+  topo.kill(7);  // orphans sensor 8
+  MultiHopDelivery delivery(topo, 0.0, 8);
+  Rng rng(3);
+  std::vector<Measurement> batch{{8, 1.0}, {4, 2.0}};
+  const auto arrived = delivery.deliver(rng, batch);
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0].sensor, 4u);
+  EXPECT_TRUE(delivery.drain().empty());
+}
+
+TEST(MultiHop, PerHopLossCompounds) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  MultiHopDelivery delivery(topo, /*per_hop_loss=*/0.2, /*slots_per_step=*/8);
+  Rng rng(4);
+  // Far corner (4 hops): survival ~ 0.8^4 = 0.41. Near sensor (1 hop): 0.8.
+  std::size_t far_ok = 0;
+  std::size_t near_ok = 0;
+  constexpr int rounds = 3000;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<Measurement> batch{{8, 1.0}, {1, 2.0}};
+    for (const auto& m : delivery.deliver(rng, batch)) {
+      if (m.sensor == 8) ++far_ok;
+      if (m.sensor == 1) ++near_ok;
+    }
+    (void)delivery.drain();
+  }
+  EXPECT_NEAR(static_cast<double>(far_ok) / rounds, 0.41, 0.04);
+  EXPECT_NEAR(static_cast<double>(near_ok) / rounds, 0.80, 0.04);
+}
+
+TEST(MultiHop, BaseStationMeasurementIsImmediate) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  MultiHopDelivery delivery(topo, 0.5, 1);
+  Rng rng(5);
+  // Zero hops: no transmissions, no loss.
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Measurement> batch{{0, 1.0}};
+    EXPECT_EQ(delivery.deliver(rng, batch).size(), 1u);
+  }
+}
+
+TEST(MultiHop, Validation) {
+  const auto sensors = grid9();
+  NetworkTopology topo(sensors, 25.0, 0);
+  EXPECT_THROW(MultiHopDelivery(topo, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(MultiHopDelivery(topo, 0.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radloc

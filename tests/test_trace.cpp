@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/sensornet/simulator.hpp"
+#include "radloc/sensornet/trace.hpp"
+
+namespace radloc {
+namespace {
+
+MeasurementTrace sample_trace() {
+  MeasurementTrace t;
+  t.record_step({{0, 5.0}, {1, 7.0}, {2, 4.0}});
+  t.record_step({{2, 6.0}, {0, 5.0}});
+  t.record_step({});
+  t.record_step({{1, 9.5}});
+  return t;
+}
+
+TEST(Trace, CountsAndAccess) {
+  const auto t = sample_trace();
+  EXPECT_EQ(t.num_steps(), 4u);
+  EXPECT_EQ(t.num_measurements(), 6u);
+  EXPECT_EQ(t.step(0).size(), 3u);
+  EXPECT_EQ(t.step(2).size(), 0u);
+  EXPECT_EQ(t.step(3)[0].sensor, 1u);
+  EXPECT_EQ(t.flattened().size(), 6u);
+  // Arrival order preserved across flattening.
+  EXPECT_EQ(t.flattened()[3].sensor, 2u);
+}
+
+TEST(Trace, CsvRoundTripPreservesEverything) {
+  const auto t = sample_trace();
+  std::stringstream ss;
+  t.save_csv(ss);
+  const auto loaded = MeasurementTrace::load_csv(ss);
+  // Interior empty steps round-trip (recreated from the step-number gap).
+  ASSERT_EQ(loaded.num_steps(), 4u);
+  EXPECT_EQ(loaded.num_measurements(), t.num_measurements());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(loaded.step(i), t.step(i));
+}
+
+TEST(Trace, CsvFormatIsStable) {
+  MeasurementTrace t;
+  t.record_step({{3, 12.5}});
+  std::ostringstream os;
+  t.save_csv(os);
+  EXPECT_EQ(os.str(), "step,sensor,cpm\n0,3,12.5\n");
+}
+
+TEST(Trace, LoadRejectsMalformedInput) {
+  auto load = [](const std::string& text) {
+    std::istringstream is(text);
+    return MeasurementTrace::load_csv(is);
+  };
+  EXPECT_THROW((void)load(""), std::invalid_argument);
+  EXPECT_THROW((void)load("wrong,header\n"), std::invalid_argument);
+  EXPECT_THROW((void)load("step,sensor,cpm\nnot,a,row\n"), std::invalid_argument);
+  EXPECT_THROW((void)load("step,sensor,cpm\n0,1,-5\n"), std::invalid_argument);
+  EXPECT_THROW((void)load("step,sensor,cpm\n1,1,5\n"), std::invalid_argument);   // starts at 1
+  EXPECT_THROW((void)load("step,sensor,cpm\n0,1,5\n1,1,5\n0,1,5\n"),
+               std::invalid_argument);  // decreasing
+  // A forward gap is an interior empty step, not an error.
+  const auto gapped = load("step,sensor,cpm\n0,1,5\n2,1,5\n");
+  ASSERT_EQ(gapped.num_steps(), 3u);
+  EXPECT_TRUE(gapped.step(1).empty());
+  EXPECT_NO_THROW((void)load("step,sensor,cpm\n0,1,5\n0,2,6\n1,1,4\n"));
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto t = sample_trace();
+  const std::string path = ::testing::TempDir() + "/radloc_trace_test.csv";
+  t.save_csv_file(path);
+  const auto loaded = MeasurementTrace::load_csv_file(path);
+  EXPECT_EQ(loaded.num_measurements(), t.num_measurements());
+}
+
+TEST(Trace, RecordedSimulationReplaysIdentically) {
+  // Record a short simulated campaign, then re-run localization from the
+  // trace: the replayed input equals the live input.
+  const auto scenario = make_scenario_a(10.0, 5.0, false);
+  MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
+  Rng noise(77);
+
+  MeasurementTrace trace;
+  for (int t = 0; t < 5; ++t) trace.record_step(sim.sample_time_step(noise));
+
+  std::stringstream ss;
+  trace.save_csv(ss);
+  const auto replay = MeasurementTrace::load_csv(ss);
+  ASSERT_EQ(replay.num_steps(), 5u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    ASSERT_EQ(replay.step(t).size(), trace.step(t).size());
+    for (std::size_t i = 0; i < replay.step(t).size(); ++i) {
+      EXPECT_EQ(replay.step(t)[i].sensor, trace.step(t)[i].sensor);
+      EXPECT_DOUBLE_EQ(replay.step(t)[i].cpm, trace.step(t)[i].cpm);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radloc

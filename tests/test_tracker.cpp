@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "radloc/core/tracker.hpp"
+
+namespace radloc {
+namespace {
+
+SourceEstimate est(double x, double y, double s = 10.0) { return {{x, y}, s, 1.0}; }
+
+TEST(Tracker, ConfigValidation) {
+  TrackerConfig cfg;
+  cfg.association_gate = 0.0;
+  EXPECT_THROW(SourceTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.confirm_hits = 0;
+  EXPECT_THROW(SourceTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.confirm_window = 1;  // < confirm_hits (3)
+  EXPECT_THROW(SourceTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.smoothing_alpha = 0.0;
+  EXPECT_THROW(SourceTracker{cfg}, std::invalid_argument);
+}
+
+TEST(Tracker, ConfirmsAfterMOutOfN) {
+  SourceTracker tracker;  // confirm 3/5
+  std::vector<TrackEvent> events;
+
+  events = tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  EXPECT_TRUE(events.empty());
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].state, TrackState::kTentative);
+
+  events = tracker.update(std::vector<SourceEstimate>{est(51, 50)});
+  EXPECT_TRUE(events.empty());
+
+  events = tracker.update(std::vector<SourceEstimate>{est(50, 51)});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TrackEvent::Kind::kConfirmed);
+  EXPECT_EQ(tracker.confirmed().size(), 1u);
+}
+
+TEST(Tracker, StableIdAcrossUpdates) {
+  SourceTracker tracker;
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  const TrackId id = tracker.tracks()[0].id;
+  for (int i = 0; i < 10; ++i) {
+    (void)tracker.update(std::vector<SourceEstimate>{est(50 + 0.3 * i, 50)});
+    ASSERT_EQ(tracker.tracks().size(), 1u);
+    EXPECT_EQ(tracker.tracks()[0].id, id);
+  }
+  EXPECT_EQ(tracker.tracks()[0].hits, 11u);
+}
+
+TEST(Tracker, TwoSourcesTwoTracks) {
+  SourceTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    (void)tracker.update(std::vector<SourceEstimate>{est(20, 20), est(80, 80)});
+  }
+  const auto confirmed = tracker.confirmed();
+  ASSERT_EQ(confirmed.size(), 2u);
+  EXPECT_NE(confirmed[0].id, confirmed[1].id);
+}
+
+TEST(Tracker, FlickerToleratedWithinKillWindow) {
+  SourceTracker tracker;  // kill after 5 consecutive misses
+  for (int i = 0; i < 3; ++i) (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  ASSERT_EQ(tracker.confirmed().size(), 1u);
+
+  // Three empty rounds (flicker), then the estimate returns: same track.
+  const TrackId id = tracker.tracks()[0].id;
+  for (int i = 0; i < 3; ++i) (void)tracker.update({});
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].id, id);
+  EXPECT_EQ(tracker.tracks()[0].misses, 0u);
+}
+
+TEST(Tracker, LostEventAfterKillMisses) {
+  SourceTracker tracker;
+  for (int i = 0; i < 3; ++i) (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  ASSERT_EQ(tracker.confirmed().size(), 1u);
+
+  std::vector<TrackEvent> events;
+  for (int i = 0; i < 5; ++i) events = tracker.update({});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TrackEvent::Kind::kLost);
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, TentativeTracksDieSilently) {
+  SourceTracker tracker;
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});  // one hit only
+  std::vector<TrackEvent> all_events;
+  for (int i = 0; i < 6; ++i) {
+    auto ev = tracker.update({});
+    all_events.insert(all_events.end(), ev.begin(), ev.end());
+  }
+  EXPECT_TRUE(all_events.empty());
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, LateConfirmationBlockedByWindow) {
+  // 2 hits, then misses, then hits again outside the confirm window: the
+  // track survives (miss streak < kill) but cannot confirm late.
+  TrackerConfig cfg;
+  cfg.confirm_hits = 3;
+  cfg.confirm_window = 3;
+  cfg.kill_misses = 10;
+  SourceTracker tracker(cfg);
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  for (int i = 0; i < 4; ++i) (void)tracker.update({});
+  const auto events = tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  EXPECT_TRUE(events.empty());
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].state, TrackState::kTentative);
+}
+
+TEST(Tracker, NewSourceGetsNewTrackId) {
+  SourceTracker tracker;
+  for (int i = 0; i < 3; ++i) (void)tracker.update(std::vector<SourceEstimate>{est(20, 20)});
+  const TrackId first = tracker.tracks()[0].id;
+
+  // A second source appears far away.
+  for (int i = 0; i < 3; ++i) {
+    (void)tracker.update(std::vector<SourceEstimate>{est(20, 20), est(80, 80)});
+  }
+  ASSERT_EQ(tracker.tracks().size(), 2u);
+  EXPECT_EQ(tracker.tracks()[0].id, first);
+  EXPECT_GT(tracker.tracks()[1].id, first);
+  EXPECT_EQ(tracker.confirmed().size(), 2u);
+}
+
+TEST(Tracker, SmoothingAveragesJitter) {
+  TrackerConfig cfg;
+  cfg.smoothing_alpha = 0.25;
+  SourceTracker tracker(cfg);
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50, 10.0)});
+  // A jumpy estimate: the smoothed track moves only alpha of the way.
+  (void)tracker.update(std::vector<SourceEstimate>{est(58, 50, 20.0)});
+  const auto& t = tracker.tracks()[0];
+  EXPECT_NEAR(t.pos.x, 52.0, 1e-9);
+  EXPECT_NEAR(t.strength, 12.5, 1e-9);
+}
+
+TEST(Tracker, InstantConfirmMode) {
+  TrackerConfig cfg;
+  cfg.confirm_hits = 1;
+  cfg.confirm_window = 1;
+  SourceTracker tracker(cfg);
+  const auto events = tracker.update(std::vector<SourceEstimate>{est(10, 10)});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TrackEvent::Kind::kConfirmed);
+}
+
+TEST(Tracker, ResetClearsState) {
+  SourceTracker tracker;
+  for (int i = 0; i < 3; ++i) (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  tracker.reset();
+  EXPECT_TRUE(tracker.tracks().empty());
+  EXPECT_EQ(tracker.updates(), 0u);
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50)});
+  EXPECT_EQ(tracker.tracks()[0].id, 1u);  // ids restart
+}
+
+TEST(Tracker, AssociationPrefersClosestPair) {
+  SourceTracker tracker;
+  (void)tracker.update(std::vector<SourceEstimate>{est(50, 50), est(60, 50)});
+  // Next round both estimates shift right; each must stay with its track.
+  (void)tracker.update(std::vector<SourceEstimate>{est(61, 50), est(51, 50)});
+  ASSERT_EQ(tracker.tracks().size(), 2u);
+  // Track near 50 stays near 50 (smoothed midpoint 50.5), not dragged to 61.
+  EXPECT_LT(tracker.tracks()[0].pos.x, 55.0);
+  EXPECT_GT(tracker.tracks()[1].pos.x, 55.0);
+}
+
+}  // namespace
+}  // namespace radloc
