@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fusion_ablation.dir/bench_fig2_fusion_ablation.cpp.o"
+  "CMakeFiles/bench_fig2_fusion_ablation.dir/bench_fig2_fusion_ablation.cpp.o.d"
+  "bench_fig2_fusion_ablation"
+  "bench_fig2_fusion_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fusion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_two_sources.dir/bench_fig3_two_sources.cpp.o"
+  "CMakeFiles/bench_fig3_two_sources.dir/bench_fig3_two_sources.cpp.o.d"
+  "bench_fig3_two_sources"
+  "bench_fig3_two_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_two_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

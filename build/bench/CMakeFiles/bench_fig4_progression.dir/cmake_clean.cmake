@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_progression.dir/bench_fig4_progression.cpp.o"
+  "CMakeFiles/bench_fig4_progression.dir/bench_fig4_progression.cpp.o.d"
+  "bench_fig4_progression"
+  "bench_fig4_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_layouts.dir/bench_fig8_layouts.cpp.o"
+  "CMakeFiles/bench_fig8_layouts.dir/bench_fig8_layouts.cpp.o.d"
+  "bench_fig8_layouts"
+  "bench_fig8_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

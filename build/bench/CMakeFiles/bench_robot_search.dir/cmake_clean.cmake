@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robot_search.dir/bench_robot_search.cpp.o"
+  "CMakeFiles/bench_robot_search.dir/bench_robot_search.cpp.o.d"
+  "bench_robot_search"
+  "bench_robot_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robot_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_sweep.dir/bench_robustness_sweep.cpp.o"
+  "CMakeFiles/bench_robustness_sweep.dir/bench_robustness_sweep.cpp.o.d"
+  "bench_robustness_sweep"
+  "bench_robustness_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unknown_obstacles.dir/bench_unknown_obstacles.cpp.o"
+  "CMakeFiles/bench_unknown_obstacles.dir/bench_unknown_obstacles.cpp.o.d"
+  "bench_unknown_obstacles"
+  "bench_unknown_obstacles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unknown_obstacles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

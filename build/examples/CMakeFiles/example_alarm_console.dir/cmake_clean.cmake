@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alarm_console.dir/alarm_console.cpp.o"
+  "CMakeFiles/example_alarm_console.dir/alarm_console.cpp.o.d"
+  "example_alarm_console"
+  "example_alarm_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alarm_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dirty_bomb_sweep.dir/dirty_bomb_sweep.cpp.o"
+  "CMakeFiles/example_dirty_bomb_sweep.dir/dirty_bomb_sweep.cpp.o.d"
+  "example_dirty_bomb_sweep"
+  "example_dirty_bomb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dirty_bomb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dirty_bomb_sweep.
+# This may be replaced when dependencies are built.

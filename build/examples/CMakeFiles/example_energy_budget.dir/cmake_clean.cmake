@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_budget.dir/energy_budget.cpp.o"
+  "CMakeFiles/example_energy_budget.dir/energy_budget.cpp.o.d"
+  "example_energy_budget"
+  "example_energy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

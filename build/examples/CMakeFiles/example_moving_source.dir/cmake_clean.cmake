@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_moving_source.dir/moving_source.cpp.o"
+  "CMakeFiles/example_moving_source.dir/moving_source.cpp.o.d"
+  "example_moving_source"
+  "example_moving_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_moving_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

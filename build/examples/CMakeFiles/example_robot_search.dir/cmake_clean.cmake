@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_robot_search.dir/robot_search.cpp.o"
+  "CMakeFiles/example_robot_search.dir/robot_search.cpp.o.d"
+  "example_robot_search"
+  "example_robot_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_robot_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_unreliable_network.dir/unreliable_network.cpp.o"
+  "CMakeFiles/example_unreliable_network.dir/unreliable_network.cpp.o.d"
+  "example_unreliable_network"
+  "example_unreliable_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_unreliable_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

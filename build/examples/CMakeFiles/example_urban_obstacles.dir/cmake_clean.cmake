@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_urban_obstacles.dir/urban_obstacles.cpp.o"
+  "CMakeFiles/example_urban_obstacles.dir/urban_obstacles.cpp.o.d"
+  "example_urban_obstacles"
+  "example_urban_obstacles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_urban_obstacles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

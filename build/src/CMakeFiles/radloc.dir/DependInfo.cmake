@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radloc/adaptive/planner.cpp" "src/CMakeFiles/radloc.dir/radloc/adaptive/planner.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/adaptive/planner.cpp.o.d"
+  "/root/repo/src/radloc/baselines/em_gmm.cpp" "src/CMakeFiles/radloc.dir/radloc/baselines/em_gmm.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/baselines/em_gmm.cpp.o.d"
+  "/root/repo/src/radloc/baselines/grid_solver.cpp" "src/CMakeFiles/radloc.dir/radloc/baselines/grid_solver.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/baselines/grid_solver.cpp.o.d"
+  "/root/repo/src/radloc/baselines/joint_pf.cpp" "src/CMakeFiles/radloc.dir/radloc/baselines/joint_pf.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/baselines/joint_pf.cpp.o.d"
+  "/root/repo/src/radloc/baselines/mle.cpp" "src/CMakeFiles/radloc.dir/radloc/baselines/mle.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/baselines/mle.cpp.o.d"
+  "/root/repo/src/radloc/baselines/single_source.cpp" "src/CMakeFiles/radloc.dir/radloc/baselines/single_source.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/baselines/single_source.cpp.o.d"
+  "/root/repo/src/radloc/common/math.cpp" "src/CMakeFiles/radloc.dir/radloc/common/math.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/common/math.cpp.o.d"
+  "/root/repo/src/radloc/concurrency/thread_pool.cpp" "src/CMakeFiles/radloc.dir/radloc/concurrency/thread_pool.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/concurrency/thread_pool.cpp.o.d"
+  "/root/repo/src/radloc/core/fault_detector.cpp" "src/CMakeFiles/radloc.dir/radloc/core/fault_detector.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/core/fault_detector.cpp.o.d"
+  "/root/repo/src/radloc/core/localizer.cpp" "src/CMakeFiles/radloc.dir/radloc/core/localizer.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/core/localizer.cpp.o.d"
+  "/root/repo/src/radloc/core/tracker.cpp" "src/CMakeFiles/radloc.dir/radloc/core/tracker.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/core/tracker.cpp.o.d"
+  "/root/repo/src/radloc/distributed/regional.cpp" "src/CMakeFiles/radloc.dir/radloc/distributed/regional.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/distributed/regional.cpp.o.d"
+  "/root/repo/src/radloc/eval/coverage.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/coverage.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/coverage.cpp.o.d"
+  "/root/repo/src/radloc/eval/experiment.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/experiment.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/experiment.cpp.o.d"
+  "/root/repo/src/radloc/eval/matching.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/matching.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/matching.cpp.o.d"
+  "/root/repo/src/radloc/eval/report.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/report.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/report.cpp.o.d"
+  "/root/repo/src/radloc/eval/scenarios.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/scenarios.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/scenarios.cpp.o.d"
+  "/root/repo/src/radloc/eval/stats.cpp" "src/CMakeFiles/radloc.dir/radloc/eval/stats.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/eval/stats.cpp.o.d"
+  "/root/repo/src/radloc/filter/movement.cpp" "src/CMakeFiles/radloc.dir/radloc/filter/movement.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/filter/movement.cpp.o.d"
+  "/root/repo/src/radloc/filter/particle_filter.cpp" "src/CMakeFiles/radloc.dir/radloc/filter/particle_filter.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/filter/particle_filter.cpp.o.d"
+  "/root/repo/src/radloc/filter/resample.cpp" "src/CMakeFiles/radloc.dir/radloc/filter/resample.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/filter/resample.cpp.o.d"
+  "/root/repo/src/radloc/geom/grid_index.cpp" "src/CMakeFiles/radloc.dir/radloc/geom/grid_index.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/geom/grid_index.cpp.o.d"
+  "/root/repo/src/radloc/geom/intersect.cpp" "src/CMakeFiles/radloc.dir/radloc/geom/intersect.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/geom/intersect.cpp.o.d"
+  "/root/repo/src/radloc/geom/polygon.cpp" "src/CMakeFiles/radloc.dir/radloc/geom/polygon.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/geom/polygon.cpp.o.d"
+  "/root/repo/src/radloc/geom/shapes.cpp" "src/CMakeFiles/radloc.dir/radloc/geom/shapes.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/geom/shapes.cpp.o.d"
+  "/root/repo/src/radloc/meanshift/meanshift.cpp" "src/CMakeFiles/radloc.dir/radloc/meanshift/meanshift.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/meanshift/meanshift.cpp.o.d"
+  "/root/repo/src/radloc/optim/nelder_mead.cpp" "src/CMakeFiles/radloc.dir/radloc/optim/nelder_mead.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/optim/nelder_mead.cpp.o.d"
+  "/root/repo/src/radloc/radiation/calibration.cpp" "src/CMakeFiles/radloc.dir/radloc/radiation/calibration.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/radiation/calibration.cpp.o.d"
+  "/root/repo/src/radloc/radiation/environment.cpp" "src/CMakeFiles/radloc.dir/radloc/radiation/environment.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/radiation/environment.cpp.o.d"
+  "/root/repo/src/radloc/radiation/intensity_model.cpp" "src/CMakeFiles/radloc.dir/radloc/radiation/intensity_model.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/radiation/intensity_model.cpp.o.d"
+  "/root/repo/src/radloc/radiation/materials.cpp" "src/CMakeFiles/radloc.dir/radloc/radiation/materials.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/radiation/materials.cpp.o.d"
+  "/root/repo/src/radloc/rng/distributions.cpp" "src/CMakeFiles/radloc.dir/radloc/rng/distributions.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/rng/distributions.cpp.o.d"
+  "/root/repo/src/radloc/rng/poisson_process.cpp" "src/CMakeFiles/radloc.dir/radloc/rng/poisson_process.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/rng/poisson_process.cpp.o.d"
+  "/root/repo/src/radloc/rng/rng.cpp" "src/CMakeFiles/radloc.dir/radloc/rng/rng.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/rng/rng.cpp.o.d"
+  "/root/repo/src/radloc/search/mobile_searcher.cpp" "src/CMakeFiles/radloc.dir/radloc/search/mobile_searcher.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/search/mobile_searcher.cpp.o.d"
+  "/root/repo/src/radloc/sensornet/delivery.cpp" "src/CMakeFiles/radloc.dir/radloc/sensornet/delivery.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/sensornet/delivery.cpp.o.d"
+  "/root/repo/src/radloc/sensornet/placement.cpp" "src/CMakeFiles/radloc.dir/radloc/sensornet/placement.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/sensornet/placement.cpp.o.d"
+  "/root/repo/src/radloc/sensornet/simulator.cpp" "src/CMakeFiles/radloc.dir/radloc/sensornet/simulator.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/sensornet/simulator.cpp.o.d"
+  "/root/repo/src/radloc/sensornet/topology.cpp" "src/CMakeFiles/radloc.dir/radloc/sensornet/topology.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/sensornet/topology.cpp.o.d"
+  "/root/repo/src/radloc/sensornet/trace.cpp" "src/CMakeFiles/radloc.dir/radloc/sensornet/trace.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/sensornet/trace.cpp.o.d"
+  "/root/repo/src/radloc/viz/svg.cpp" "src/CMakeFiles/radloc.dir/radloc/viz/svg.cpp.o" "gcc" "src/CMakeFiles/radloc.dir/radloc/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_semantics.dir/test_api_semantics.cpp.o"
+  "CMakeFiles/test_api_semantics.dir/test_api_semantics.cpp.o.d"
+  "test_api_semantics"
+  "test_api_semantics.pdb"
+  "test_api_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

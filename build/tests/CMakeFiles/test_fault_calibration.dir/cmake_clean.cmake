@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_calibration.dir/test_fault_calibration.cpp.o"
+  "CMakeFiles/test_fault_calibration.dir/test_fault_calibration.cpp.o.d"
+  "test_fault_calibration"
+  "test_fault_calibration.pdb"
+  "test_fault_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

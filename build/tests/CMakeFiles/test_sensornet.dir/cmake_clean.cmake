@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensornet.dir/test_sensornet.cpp.o"
+  "CMakeFiles/test_sensornet.dir/test_sensornet.cpp.o.d"
+  "test_sensornet"
+  "test_sensornet.pdb"
+  "test_sensornet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensornet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radloc_sim.dir/radloc_sim.cpp.o"
+  "CMakeFiles/radloc_sim.dir/radloc_sim.cpp.o.d"
+  "radloc_sim"
+  "radloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_table "/root/repo/build/tools/radloc_sim" "--scenario" "A" "--strength" "20" "--steps" "4" "--trials" "1" "--seed" "3")
+set_tests_properties(cli_smoke_table PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_csv "/root/repo/build/tools/radloc_sim" "--scenario" "A3" "--steps" "3" "--trials" "1" "--report" "csv")
+set_tests_properties(cli_smoke_csv PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_artifacts "/root/repo/build/tools/radloc_sim" "--scenario" "A" "--steps" "2" "--trials" "1" "--trace" "/root/repo/build/tools/smoke_trace.csv" "--svg-prefix" "/root/repo/build/tools/smoke")
+set_tests_properties(cli_smoke_artifacts PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
