@@ -9,6 +9,11 @@
 // threads (on multi-core hosts; this container may expose a single CPU).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "radloc/core/localizer.hpp"
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/simulator.hpp"
@@ -50,6 +55,42 @@ void BM_Iteration(benchmark::State& state) {
                          benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 
+/// Console reporter that records sec_per_iteration per benchmark so the main
+/// can print the multi-thread speedups (the paper's Table I shape) after the
+/// run.
+class Table1Reporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      const auto it = run.counters.find("sec_per_iteration");
+      if (it != run.counters.end()) seconds[run.benchmark_name()] = it->second;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, double> seconds;
+};
+
+void print_speedups(const std::map<std::string, double>& seconds) {
+  const auto at = [&](int large, int threads) {
+    const std::string name = "BM_Iteration/particles:15000/largeN:" + std::to_string(large) +
+                             "/threads:" + std::to_string(threads);
+    const auto it = seconds.find(name);
+    return it != seconds.end() ? it->second : 0.0;
+  };
+  std::printf("\n--- Table I thread scaling at NP=15000 (speedup vs 1 thread) ---\n");
+  for (const int large : {0, 1}) {
+    const double base = at(large, 1);
+    if (base <= 0.0) continue;
+    for (const int threads : {2, 4}) {
+      const double t = at(large, threads);
+      if (t > 0.0) {
+        std::printf("SPEEDUP largeN:%d threads:%d %.2fx\n", large, threads, base / t);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_Iteration)
@@ -66,4 +107,24 @@ BENCHMARK(BM_Iteration)
     ->Args({15000, 1, 4})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_table1.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  Table1Reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  print_speedups(reporter.seconds);
+  benchmark::Shutdown();
+  return 0;
+}

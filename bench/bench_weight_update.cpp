@@ -1,0 +1,286 @@
+// Weight-update hot-path throughput (particles/sec), for
+// {free-space, obstacles} x {1, 4 threads} x {transmission cache off/on},
+// against a faithful re-creation of the seed repo's serial kernel
+// (per-particle lgamma, per-obstacle chord_length with no hoisted AABB
+// sweep).
+//
+// The measured kernel is exactly the likelihood stage of
+// FusionParticleFilter::process_reading: score every particle of a fusion-
+// range subset against one measurement. Selection/resampling costs are
+// excluded here (bench_table1_runtime measures the end-to-end iteration).
+//
+// Always writes google-benchmark JSON to BENCH_weight_update.json (override
+// with --benchmark_out=...) and prints a speedup summary so CI has a
+// machine-readable perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radloc/common/math.hpp"
+#include "radloc/concurrency/thread_pool.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/geom/intersect.hpp"
+#include "radloc/radiation/intensity_model.hpp"
+#include "radloc/radiation/transmission_cache.hpp"
+#include "radloc/rng/distributions.hpp"
+#include "radloc/sensornet/simulator.hpp"
+
+namespace {
+
+using namespace radloc;
+
+constexpr std::size_t kParticles = 15000;
+constexpr double kFusionRange = 28.0;
+
+struct Cloud {
+  Scenario scenario;
+  std::vector<Point2> positions;
+  std::vector<double> strengths;
+  /// Per sensor: particle indices within the fusion range, and one sampled
+  /// reading.
+  std::vector<std::vector<std::uint32_t>> subsets;
+  std::vector<double> readings;
+};
+
+Cloud make_cloud(bool obstacles) {
+  Cloud c{make_scenario_a(10.0, 5.0, obstacles), {}, {}, {}, {}};
+  Rng rng(97);
+  c.positions.resize(kParticles);
+  c.strengths.resize(kParticles);
+  for (std::size_t i = 0; i < kParticles; ++i) {
+    c.positions[i] = uniform_point(rng, c.scenario.env.bounds());
+    c.strengths[i] = std::exp(uniform(rng, std::log(4.0), std::log(1000.0)));
+  }
+  MeasurementSimulator sim(c.scenario.env, c.scenario.sensors, c.scenario.sources);
+  for (const Sensor& s : c.scenario.sensors) {
+    std::vector<std::uint32_t> subset;
+    for (std::size_t i = 0; i < kParticles; ++i) {
+      if (distance(c.positions[i], s.pos) <= kFusionRange) {
+        subset.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    c.subsets.push_back(std::move(subset));
+    c.readings.push_back(sim.sample(rng, s.id).cpm);
+  }
+  return c;
+}
+
+// --- Verbatim re-creations of the seed repo's geometry hot path, so the
+// --- baseline keeps paying the costs this PR removed (two divisions per
+// --- edge test, a heap-allocated crossing buffer per chord call, and no
+// --- hoisted AABB sweep).
+
+std::optional<double> seed_intersection_param(const Segment& s1, const Segment& s2) {
+  constexpr double kEps = 1e-12;
+  const Vec2 d1 = s1.b - s1.a;
+  const Vec2 d2 = s2.b - s2.a;
+  const double denom = cross(d1, d2);
+  if (std::abs(denom) < kEps) return std::nullopt;
+  const Vec2 w = s2.a - s1.a;
+  const double t = cross(w, d2) / denom;
+  const double u = cross(w, d1) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) return std::nullopt;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double seed_chord_length(const Segment& seg, const Polygon& poly) {
+  constexpr double kEps = 1e-12;
+  if (!aabb_overlaps_segment(poly.aabb(), seg)) return 0.0;
+  std::vector<double> ts;
+  ts.reserve(poly.size() + 2);
+  ts.push_back(0.0);
+  ts.push_back(1.0);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (const auto t = seed_intersection_param(seg, poly.edge(i))) ts.push_back(*t);
+  }
+  std::sort(ts.begin(), ts.end());
+  const double seg_len = seg.length();
+  double inside_len = 0.0;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double t0 = ts[i];
+    const double t1 = ts[i + 1];
+    if (t1 - t0 < kEps) continue;
+    if (poly.contains(seg.at(0.5 * (t0 + t1)))) inside_len += (t1 - t0) * seg_len;
+  }
+  return inside_len;
+}
+
+double seed_path_attenuation(const Segment& seg, const std::vector<Obstacle>& obstacles) {
+  double acc = 0.0;
+  for (const auto& o : obstacles) {
+    const double l = seed_chord_length(seg, o.shape());
+    if (l > 0.0) acc += o.mu() * l;
+  }
+  return acc;
+}
+
+/// The seed's serial weight loop: poisson_log_pmf pays lgamma(cpm) per
+/// particle.
+void BM_WeightUpdateSeed(benchmark::State& state) {
+  const bool obstacles = state.range(0) != 0;
+  const Cloud c = make_cloud(obstacles);
+
+  std::size_t sensor = 0;
+  std::size_t scored = 0;
+  std::vector<double> lls(kParticles);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const Sensor& s = c.scenario.sensors[sensor];
+    const auto& subset = c.subsets[sensor];
+    const double cpm = c.readings[sensor];
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      const auto i = subset[k];
+      const Source hyp{c.positions[i], c.strengths[i]};
+      double rate;
+      if (obstacles) {
+        const double a = seed_path_attenuation(Segment{s.pos, hyp.pos},
+                                               c.scenario.env.obstacles());
+        rate = kMicroCurieToCpm * s.response.efficiency * free_space_intensity(s.pos, hyp) *
+                   (a > 0.0 ? std::exp(-a) : 1.0) +
+               s.response.background_cpm;
+      } else {
+        rate = expected_cpm_single_free_space(s.pos, hyp, s.response);
+      }
+      lls[k] = poisson_log_pmf(cpm, rate);
+    }
+    benchmark::DoNotOptimize(lls.data());
+    scored += subset.size();
+    sensor = (sensor + 1) % c.scenario.sensors.size();
+  }
+  // Wall-clock rate (not google-benchmark's CPU-time rate): comparable
+  // across thread counts.
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  state.counters["particles_per_sec"] =
+      benchmark::Counter(secs > 0.0 ? static_cast<double>(scored) / secs : 0.0);
+}
+
+/// This PR's kernel: hoisted PoissonLogPmf, AABB-swept path_attenuation,
+/// optional per-sensor transmission cache, chunked over the thread pool.
+void BM_WeightUpdate(benchmark::State& state) {
+  const bool obstacles = state.range(0) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const bool cache_on = state.range(2) != 0;
+  const Cloud c = make_cloud(obstacles);
+
+  ThreadPool pool(threads);
+  TransmissionCache cache(c.scenario.env, 2.0);
+
+  std::size_t sensor = 0;
+  std::size_t scored = 0;
+  std::vector<double> lls(kParticles);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const Sensor& s = c.scenario.sensors[sensor];
+    const auto& subset = c.subsets[sensor];
+    const TransmissionCache::Field* field =
+        obstacles && cache_on ? cache.prepare(s.pos) : nullptr;
+    const PoissonLogPmf log_pmf(c.readings[sensor]);
+    pool.parallel_for(subset.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const auto i = subset[k];
+        const Source hyp{c.positions[i], c.strengths[i]};
+        double rate;
+        if (!obstacles) {
+          rate = expected_cpm_single_free_space(s.pos, hyp, s.response);
+        } else if (field != nullptr) {
+          rate = kMicroCurieToCpm * s.response.efficiency * free_space_intensity(s.pos, hyp) *
+                     cache.transmission(*field, hyp.pos) +
+                 s.response.background_cpm;
+        } else {
+          rate = expected_cpm_single(s.pos, hyp, c.scenario.env, s.response);
+        }
+        lls[k] = log_pmf(rate);
+      }
+    });
+    benchmark::DoNotOptimize(lls.data());
+    scored += subset.size();
+    sensor = (sensor + 1) % c.scenario.sensors.size();
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  state.counters["particles_per_sec"] =
+      benchmark::Counter(secs > 0.0 ? static_cast<double>(scored) / secs : 0.0);
+}
+
+/// Console reporter that records particles_per_sec per benchmark so the main
+/// can print seed-vs-new speedups after the run.
+class SpeedupReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      const auto it = run.counters.find("particles_per_sec");
+      if (it != run.counters.end()) rates[run.benchmark_name()] = it->second;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, double> rates;
+};
+
+void print_speedups(const std::map<std::string, double>& rates) {
+  const auto rate = [&](const std::string& name) {
+    const auto it = rates.find(name);
+    return it != rates.end() ? it->second : 0.0;
+  };
+  const auto report = [&](const char* label, const std::string& num, const std::string& den) {
+    const double a = rate(num);
+    const double b = rate(den);
+    if (a > 0.0 && b > 0.0) {
+      std::printf("SPEEDUP %-44s %.2fx\n", label, a / b);
+    }
+  };
+  std::printf("\n--- weight-update speedups vs seed serial kernel ---\n");
+  report("free-space, 1 thread", "BM_WeightUpdate/obstacles:0/threads:1/cache:0",
+         "BM_WeightUpdateSeed/obstacles:0");
+  report("free-space, 4 threads", "BM_WeightUpdate/obstacles:0/threads:4/cache:0",
+         "BM_WeightUpdateSeed/obstacles:0");
+  report("obstacles, 1 thread, cache off", "BM_WeightUpdate/obstacles:1/threads:1/cache:0",
+         "BM_WeightUpdateSeed/obstacles:1");
+  report("obstacles, 4 threads, cache off", "BM_WeightUpdate/obstacles:1/threads:4/cache:0",
+         "BM_WeightUpdateSeed/obstacles:1");
+  report("obstacles, 1 thread, cache on", "BM_WeightUpdate/obstacles:1/threads:1/cache:1",
+         "BM_WeightUpdateSeed/obstacles:1");
+  report("obstacles, 4 threads, cache on", "BM_WeightUpdate/obstacles:1/threads:4/cache:1",
+         "BM_WeightUpdateSeed/obstacles:1");
+}
+
+}  // namespace
+
+BENCHMARK(BM_WeightUpdateSeed)->ArgNames({"obstacles"})->Arg(0)->Arg(1);
+
+BENCHMARK(BM_WeightUpdate)
+    ->ArgNames({"obstacles", "threads", "cache"})
+    ->Args({0, 1, 0})
+    ->Args({0, 4, 0})
+    ->Args({1, 1, 0})
+    ->Args({1, 4, 0})
+    ->Args({1, 1, 1})
+    ->Args({1, 4, 1});
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_weight_update.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  SpeedupReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  print_speedups(reporter.rates);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,11 +38,13 @@ void JointParticleFilter::process(const Measurement& m) {
   const Sensor& sensor = sensors_[m.sensor];
   const std::size_t k = cfg_.num_sources;
 
+  // log(cpm!) is shared by every particle's likelihood — hoist it.
+  const PoissonLogPmf log_pmf(m.cpm);
   double max_ll = -std::numeric_limits<double>::infinity();
   std::vector<double> ll(weights_.size());
   for (std::size_t p = 0; p < weights_.size(); ++p) {
     const std::span<const Source> hyp(states_.data() + p * k, k);
-    ll[p] = poisson_log_pmf(m.cpm, joint_rate(sensor, hyp));
+    ll[p] = log_pmf(joint_rate(sensor, hyp));
     if (ll[p] > max_ll) max_ll = ll[p];
   }
   if (!std::isfinite(max_ll)) return;

@@ -19,13 +19,22 @@ MleLocalizer::MleLocalizer(const Environment& env, std::vector<Sensor> sensors, 
 
 double MleLocalizer::negative_log_likelihood(std::span<const Measurement> measurements,
                                              std::span<const Source> sources) const {
+  std::vector<PoissonLogPmf> kernels;
+  kernels.reserve(measurements.size());
+  for (const auto& m : measurements) kernels.emplace_back(m.cpm);
+  return nll_with_kernels(measurements, kernels, sources);
+}
+
+double MleLocalizer::nll_with_kernels(std::span<const Measurement> measurements,
+                                      std::span<const PoissonLogPmf> kernels,
+                                      std::span<const Source> sources) const {
   double nll = 0.0;
-  Environment free_space = env_->without_obstacles();
+  const Environment free_space = env_->without_obstacles();
   const Environment& model_env = cfg_.use_known_obstacles ? *env_ : free_space;
-  for (const auto& m : measurements) {
-    const Sensor& s = sensors_[m.sensor];
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Sensor& s = sensors_[measurements[i].sensor];
     const double rate = expected_cpm(s.pos, sources, model_env, s.response);
-    nll -= poisson_log_pmf(m.cpm, rate);
+    nll -= kernels[i](rate);
   }
   return nll;
 }
@@ -49,6 +58,11 @@ MleFit MleLocalizer::optimize_k(std::span<const Measurement> measurements, std::
   const double log_smin = std::log(cfg_.strength_min);
   const double log_smax = std::log(cfg_.strength_max);
 
+  // Per-measurement Poisson kernels, shared by every objective evaluation.
+  std::vector<PoissonLogPmf> kernels;
+  kernels.reserve(measurements.size());
+  for (const auto& m : measurements) kernels.emplace_back(m.cpm);
+
   auto objective = [&](const std::vector<double>& params) {
     // Soft box penalty keeps the simplex inside the physical domain.
     double penalty = 0.0;
@@ -63,7 +77,7 @@ MleFit MleLocalizer::optimize_k(std::span<const Measurement> measurements, std::
       if (ls < log_smin) penalty += 100.0 * square(log_smin - ls);
       if (ls > log_smax) penalty += 100.0 * square(ls - log_smax);
     }
-    return negative_log_likelihood(measurements, unpack(params)) + 1e3 * penalty;
+    return nll_with_kernels(measurements, kernels, unpack(params)) + 1e3 * penalty;
   };
 
   NelderMeadResult best;

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "radloc/common/math.hpp"
 #include "radloc/meanshift/meanshift.hpp"
 #include "radloc/optim/nelder_mead.hpp"
 #include "radloc/radiation/environment.hpp"
@@ -61,6 +62,13 @@ class MleLocalizer {
  private:
   [[nodiscard]] MleFit optimize_k(std::span<const Measurement> measurements, std::size_t k,
                                   Rng& rng) const;
+
+  /// negative_log_likelihood with the per-measurement log(cpm!) terms
+  /// precomputed: the optimizer evaluates the same measurement set thousands
+  /// of times, so the lgamma work is paid once per fit, not per evaluation.
+  [[nodiscard]] double nll_with_kernels(std::span<const Measurement> measurements,
+                                        std::span<const PoissonLogPmf> kernels,
+                                        std::span<const Source> sources) const;
 
   const Environment* env_;
   std::vector<Sensor> sensors_;

@@ -21,6 +21,32 @@ inline constexpr double kPi = 3.14159265358979323846;
 /// k > 0, and 0 for lambda == 0, k == 0.
 [[nodiscard]] double poisson_log_pmf(double k, double lambda);
 
+/// Poisson log-PMF with the count k fixed: log(k!) is paid once at
+/// construction instead of per evaluation. This is the weight-update hot-path
+/// kernel — one measurement is scored against thousands of hypothesized
+/// rates, and lgamma dominates the naive per-particle poisson_log_pmf.
+/// Evaluation order matches poisson_log_pmf exactly, so results are
+/// bit-identical to the free function.
+class PoissonLogPmf {
+ public:
+  explicit PoissonLogPmf(double k)
+      : k_(k), log_k_factorial_(k >= 0.0 ? log_factorial(k) : 0.0) {}
+
+  [[nodiscard]] double count() const { return k_; }
+
+  [[nodiscard]] double operator()(double lambda) const {
+    if (k_ < 0.0) return -std::numeric_limits<double>::infinity();
+    if (lambda <= 0.0) {
+      return k_ == 0.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+    }
+    return k_ * std::log(lambda) - lambda - log_k_factorial_;
+  }
+
+ private:
+  double k_;
+  double log_k_factorial_;
+};
+
 /// PMF of Poisson(lambda) at k; exp of the above.
 [[nodiscard]] double poisson_pmf(double k, double lambda);
 

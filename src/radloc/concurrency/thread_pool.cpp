@@ -4,7 +4,13 @@
 
 namespace radloc {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t max_fanout) {
+  if (max_fanout > 0) {
+    hw_threads_ = max_fanout;
+  } else {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    hw_threads_ = hw > 0 ? hw : num_threads;
+  }
   const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(extra);
   for (std::size_t i = 0; i < extra; ++i) {
@@ -43,7 +49,11 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
   if (n == 0) return;
-  const std::size_t threads = num_threads();
+  // Never fan out wider than the host's cores: on a machine that exposes
+  // fewer CPUs than the pool has threads, extra chunks only buy context
+  // switches. Results don't depend on the fan-out — chunks cover disjoint
+  // index ranges whoever runs them.
+  const std::size_t threads = std::min(num_threads(), hw_threads_);
   if (threads == 1 || n == 1) {
     chunk_fn(0, n);
     return;
@@ -69,7 +79,19 @@ void ThreadPool::parallel_for(std::size_t n,
 
   chunk_fn(0, own_end);
 
+  // Help drain the queue instead of idling: when workers are slow to wake
+  // (or the host exposes fewer cores than the pool has threads) the caller
+  // executes the remaining chunks itself. Which thread runs a chunk never
+  // affects results — chunks touch disjoint index ranges.
   std::unique_lock lock(mu_);
+  while (!pending_.empty()) {
+    const Task task = pending_.back();
+    pending_.pop_back();
+    lock.unlock();
+    (*task.body)(task.begin, task.end);
+    lock.lock();
+    --outstanding_;
+  }
   work_done_.wait(lock, [this] { return outstanding_ == 0; });
 }
 

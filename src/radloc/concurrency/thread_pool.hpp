@@ -18,7 +18,12 @@ class ThreadPool {
  public:
   /// `num_threads` == 1 (or 0) means run inline on the caller with no worker
   /// threads at all — the serial baseline for scaling experiments.
-  explicit ThreadPool(std::size_t num_threads);
+  ///
+  /// parallel_for never fans out wider than the host's core count (extra
+  /// chunks on an oversubscribed host only buy context switches); pass
+  /// `max_fanout` > 0 to override that cap, e.g. to exercise the dispatch
+  /// machinery in tests regardless of host.
+  explicit ThreadPool(std::size_t num_threads, std::size_t max_fanout = 0);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -51,6 +56,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::size_t hw_threads_ = 1;  ///< host core count; caps parallel_for fan-out
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

@@ -46,6 +46,17 @@ struct FilterConfig {
   /// when predicting sensor readings; if false (the paper's complex-
   /// environment mode) it assumes free space, Eq. (1).
   bool use_known_obstacles = false;
+
+  /// Memoize per-sensor transmission fields on a uniform grid (see
+  /// radiation/transmission_cache.hpp); only meaningful with
+  /// use_known_obstacles. Default off: the cache trades a bounded
+  /// interpolation error for speed, and with it off the likelihood numerics
+  /// are exactly the seed's.
+  bool use_transmission_cache = false;
+
+  /// Grid pitch (length units) of the memoized transmission field. Smaller
+  /// is more accurate; the per-sensor build cost grows as 1/cell^2.
+  double transmission_cache_cell = 2.0;
 };
 
 }  // namespace radloc

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "radloc/common/math.hpp"
+#include "radloc/concurrency/thread_pool.hpp"
 #include "radloc/filter/resample.hpp"
 #include "radloc/radiation/intensity_model.hpp"
 #include "radloc/rng/distributions.hpp"
@@ -39,6 +40,9 @@ FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<S
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
     require(sensors_[i].id == i, "sensor ids must be dense and in order");
   }
+  if (cfg_.use_known_obstacles && cfg_.use_transmission_cache) {
+    cache_ = std::make_unique<TransmissionCache>(*env_, cfg_.transmission_cache_cell);
+  }
   initialize_particles();
 }
 
@@ -64,12 +68,20 @@ double FusionParticleFilter::random_strength() {
 }
 
 double FusionParticleFilter::hypothesis_rate(const Point2& at, const SensorResponse& response,
-                                             const Point2& pos, double strength) const {
+                                             const Point2& pos, double strength,
+                                             const TransmissionCache::Field* field) const {
   const Source hypothesis{pos, strength};
-  if (cfg_.use_known_obstacles) {
-    return expected_cpm_single(at, hypothesis, *env_, response);
+  if (!cfg_.use_known_obstacles) {
+    return expected_cpm_single_free_space(at, hypothesis, response);
   }
-  return expected_cpm_single_free_space(at, hypothesis, response);
+  if (field != nullptr) {
+    // Cached Eq. (3): exact free-space fading times the memoized
+    // transmission of the sensor->particle path.
+    return kMicroCurieToCpm * response.efficiency * free_space_intensity(at, hypothesis) *
+               cache_->transmission(*field, pos) +
+           response.background_cpm;
+  }
+  return expected_cpm_single(at, hypothesis, *env_, response);
 }
 
 void FusionParticleFilter::set_movement_model(std::unique_ptr<MovementModel> model) {
@@ -132,13 +144,32 @@ std::size_t FusionParticleFilter::process_reading(const Point2& at,
                       [&](double acc, std::uint32_t i) { return acc + weights_[i]; });
   if (subset_mass_before <= 0.0) return 0;
 
+  // The transmission field for this origin is prepared serially here; the
+  // parallel loop below only reads it.
+  const TransmissionCache::Field* field = cache_ != nullptr ? cache_->prepare(at) : nullptr;
+
+  // log(cpm!) is constant across the subset — pay lgamma once, not per
+  // particle (PoissonLogPmf evaluates bit-identically to poisson_log_pmf).
+  const PoissonLogPmf log_pmf(cpm);
   subset_weights_.resize(subset_.size());
+  const auto score_chunk = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto i = subset_[k];
+      subset_weights_[k] =
+          log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], field));
+    }
+  };
+  if (pool_ != nullptr) {
+    // Chunks write disjoint slots of subset_weights_; every reduction below
+    // runs serially in index order, so the result is bit-identical to the
+    // serial path at any thread count.
+    pool_->parallel_for(subset_.size(), score_chunk);
+  } else {
+    score_chunk(0, subset_.size());
+  }
+
   double max_ll = -std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < subset_.size(); ++k) {
-    const auto i = subset_[k];
-    const double rate = hypothesis_rate(at, response, positions_[i], strengths_[i]);
-    const double ll = poisson_log_pmf(cpm, rate);
-    subset_weights_[k] = ll;
+  for (const double ll : subset_weights_) {
     if (ll > max_ll) max_ll = ll;
   }
   if (!std::isfinite(max_ll)) return 0;  // measurement impossible for all hypotheses

@@ -28,10 +28,13 @@
 #include "radloc/filter/particle.hpp"
 #include "radloc/geom/grid_index.hpp"
 #include "radloc/radiation/environment.hpp"
+#include "radloc/radiation/transmission_cache.hpp"
 #include "radloc/rng/rng.hpp"
 #include "radloc/sensornet/sensor.hpp"
 
 namespace radloc {
+
+class ThreadPool;
 
 class FusionParticleFilter {
  public:
@@ -72,6 +75,17 @@ class FusionParticleFilter {
   /// Replaces the movement model (default: StaticMovement).
   void set_movement_model(std::unique_ptr<MovementModel> model);
 
+  /// Borrows a thread pool for the per-measurement weight update; nullptr
+  /// (the default) runs serially. The parallel path chunks the likelihood
+  /// loop over disjoint index ranges and reduces serially in index order, so
+  /// weights are bit-identical to the serial path at any thread count. The
+  /// pool must outlive the filter (MultiSourceLocalizer wires its own pool
+  /// in automatically).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// The per-sensor transmission cache, if cfg enabled one (diagnostics).
+  [[nodiscard]] const TransmissionCache* transmission_cache() const { return cache_.get(); }
+
   /// Effective number of particles 1 / sum(w^2) — a standard degeneracy
   /// diagnostic (exposed for tests and ablations).
   [[nodiscard]] double effective_sample_size() const;
@@ -79,7 +93,8 @@ class FusionParticleFilter {
  private:
   void initialize_particles();
   [[nodiscard]] double hypothesis_rate(const Point2& at, const SensorResponse& response,
-                                       const Point2& pos, double strength) const;
+                                       const Point2& pos, double strength,
+                                       const TransmissionCache::Field* field) const;
   [[nodiscard]] Point2 random_position();
   [[nodiscard]] double random_strength();
   void resample_subset(std::span<const std::uint32_t> subset, double subset_mass);
@@ -88,6 +103,8 @@ class FusionParticleFilter {
   std::vector<Sensor> sensors_;
   FilterConfig cfg_;
   Rng rng_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<TransmissionCache> cache_;
 
   std::vector<Point2> positions_;
   std::vector<double> strengths_;

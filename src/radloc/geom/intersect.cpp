@@ -1,6 +1,7 @@
 #include "radloc/geom/intersect.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -8,7 +9,28 @@ namespace radloc {
 
 namespace {
 constexpr double kEps = 1e-12;
+
+// Crossing parameters of typical obstacle polygons (walls, L/U shapes,
+// <=32-gon pillars) fit on the stack; chord_length is called per particle
+// per obstacle in the weight-update hot path, so a heap allocation per call
+// is measurable.
+constexpr std::size_t kStackParams = 64;
+
+double classify_intervals(const Segment& seg, const Polygon& poly, double* ts, std::size_t n) {
+  std::sort(ts, ts + n);
+  double inside_frac = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double t0 = ts[i];
+    const double t1 = ts[i + 1];
+    if (t1 - t0 < kEps) continue;
+    if (poly.contains(seg.at(0.5 * (t0 + t1)))) inside_frac += t1 - t0;
+  }
+  // Defer the sqrt in length() until an inside interval actually exists —
+  // most segments that reach interval classification still miss the polygon.
+  return inside_frac > 0.0 ? inside_frac * seg.length() : 0.0;
 }
+
+}  // namespace
 
 std::optional<double> segment_intersection_param(const Segment& s1, const Segment& s2) {
   const Vec2 d1 = s1.b - s1.a;
@@ -16,10 +38,18 @@ std::optional<double> segment_intersection_param(const Segment& s1, const Segmen
   const double denom = cross(d1, d2);
   if (std::abs(denom) < kEps) return std::nullopt;  // parallel or collinear
   const Vec2 w = s2.a - s1.a;
-  const double t = cross(w, d2) / denom;
-  const double u = cross(w, d1) / denom;
-  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) return std::nullopt;
-  return std::clamp(t, 0.0, 1.0);
+  // Accept iff t = tn/denom and u = un/denom lie in [-kEps, 1 + kEps]; the
+  // bounds are checked on the numerators (scaled by |denom|) so the common
+  // no-intersection case pays no division.
+  const double tn = cross(w, d2);
+  const double un = cross(w, d1);
+  const double tol = kEps * std::abs(denom);
+  if (denom > 0.0) {
+    if (tn < -tol || tn > denom + tol || un < -tol || un > denom + tol) return std::nullopt;
+  } else {
+    if (tn > tol || tn < denom - tol || un > tol || un < denom - tol) return std::nullopt;
+  }
+  return std::clamp(tn / denom, 0.0, 1.0);
 }
 
 bool aabb_overlaps_segment(const AreaBounds& box, const Segment& seg) {
@@ -33,26 +63,137 @@ bool aabb_overlaps_segment(const AreaBounds& box, const Segment& seg) {
 double chord_length(const Segment& seg, const Polygon& poly) {
   if (!aabb_overlaps_segment(poly.aabb(), seg)) return 0.0;
 
-  // Collect the crossing parameters along the segment, plus the endpoints,
-  // then classify each sub-interval by its midpoint.
+  // Rectilinear polygons (all paper obstacle shapes) decompose into disjoint
+  // axis-aligned rectangles; the chord is then the sum of per-rectangle slab
+  // clips — no crossing sweep, no sort, no containment walks.
+  const auto& rects = poly.slab_rects();
+  if (!rects.empty()) {
+    const double ax = seg.a.x;
+    const double ay = seg.a.y;
+    const double dx = seg.b.x - ax;
+    const double dy = seg.b.y - ay;
+    const double inv_dx = 1.0 / dx;  // +-inf when dx == 0; guarded below
+    const double inv_dy = 1.0 / dy;
+    double frac = 0.0;
+    for (const AreaBounds& r : rects) {
+      double t0 = 0.0;
+      double t1 = 1.0;
+      if (dx == 0.0) {
+        if (ax < r.min.x || ax > r.max.x) continue;
+      } else {
+        const double ta = (r.min.x - ax) * inv_dx;
+        const double tb = (r.max.x - ax) * inv_dx;
+        t0 = std::max(t0, std::min(ta, tb));
+        t1 = std::min(t1, std::max(ta, tb));
+      }
+      if (dy == 0.0) {
+        if (ay < r.min.y || ay > r.max.y) continue;
+      } else {
+        const double ta = (r.min.y - ay) * inv_dy;
+        const double tb = (r.max.y - ay) * inv_dy;
+        t0 = std::max(t0, std::min(ta, tb));
+        t1 = std::min(t1, std::max(ta, tb));
+      }
+      if (t1 > t0) frac += t1 - t0;
+    }
+    return frac > 0.0 ? frac * seg.length() : 0.0;
+  }
+
+  const double lo_x = std::min(seg.a.x, seg.b.x);
+  const double hi_x = std::max(seg.a.x, seg.b.x);
+  const double lo_y = std::min(seg.a.y, seg.b.y);
+  const double hi_y = std::max(seg.a.y, seg.b.y);
+
+  // Fast path: one pass over the edges collects the crossing parameters of
+  // `seg` with the boundary (AABB-prefiltered per edge) and, in the same
+  // loop, runs the even-odd ray test for seg.a. Each transversal crossing
+  // flips insideness, so when the crossings are clean (pairwise distinct,
+  // away from the segment endpoints) the intervals classify by alternation —
+  // no per-midpoint containment walks.
+  if (poly.size() + 2 <= kStackParams) {
+    const auto& vs = poly.vertices();
+    const std::size_t n_verts = vs.size();
+    const Point2 a = seg.a;
+    const Vec2 d1 = seg.b - seg.a;  // loop-invariant segment direction
+    std::array<double, kStackParams> ts;
+    std::size_t n_cross = 0;
+    bool parity = false;
+    for (std::size_t i = 0, j = n_verts - 1; i < n_verts; j = i++) {
+      const Point2& vi = vs[i];
+      const Point2& vj = vs[j];
+      const double dy = vi.y - vj.y;
+      // Even-odd ray test for seg.a, branchless: flip iff the edge straddles
+      // a.y and a is left of the crossing ((rhs - lhs) * dy > 0 encodes the
+      // divided comparison for either sign of dy; multiplying only affects
+      // the sign, never the outcome).
+      const bool straddles = (vi.y > a.y) != (vj.y > a.y);
+      const double lhs = (a.x - vj.x) * dy;
+      const double rhs = (a.y - vj.y) * (vi.x - vj.x);
+      parity = parity != (straddles & ((rhs - lhs) * dy > 0.0));
+      // segment_intersection_param(seg, edge vj->vi), computed without
+      // data-dependent branches: normalizing by the sign of denom (exact)
+      // folds the two comparison directions into one, and the accept branch
+      // below is the only one left — rarely taken, so well predicted.
+      const Vec2 d2 = vi - vj;
+      const double denom = cross(d1, d2);
+      const Vec2 w = vj - a;
+      const double s = denom > 0.0 ? 1.0 : -1.0;
+      const double sd = s * denom;  // |denom|
+      const double st = s * cross(w, d2);
+      const double su = s * cross(w, d1);
+      const double tol = kEps * sd;
+      if (sd >= kEps && st >= -tol && st <= sd + tol && su >= -tol && su <= sd + tol) {
+        ts[n_cross++] = std::clamp(st / sd, 0.0, 1.0);
+      }
+    }
+    const bool a_inside = parity;
+
+    if (n_cross == 0) return a_inside ? seg.length() : 0.0;
+    std::sort(ts.data(), ts.data() + n_cross);
+
+    // Touching a vertex, grazing an edge, or starting/ending on the boundary
+    // produces coincident or endpoint crossings that break the alternation
+    // argument — classify those by interval midpoints instead.
+    constexpr double kSafe = 1e-9;
+    bool degenerate = ts[0] < kSafe || ts[n_cross - 1] > 1.0 - kSafe;
+    for (std::size_t i = 0; i + 1 < n_cross && !degenerate; ++i) {
+      if (ts[i + 1] - ts[i] < kSafe) degenerate = true;
+    }
+    if (!degenerate) {
+      double inside_frac = 0.0;
+      bool inside = a_inside;
+      double prev = 0.0;
+      for (std::size_t i = 0; i < n_cross; ++i) {
+        if (inside) inside_frac += ts[i] - prev;
+        prev = ts[i];
+        inside = !inside;
+      }
+      if (inside) inside_frac += 1.0 - prev;
+      return inside_frac > 0.0 ? inside_frac * seg.length() : 0.0;
+    }
+
+    // Shift the crossings up to make room for the interval endpoints.
+    for (std::size_t i = n_cross; i > 0; --i) ts[i] = ts[i - 1];
+    ts[0] = 0.0;
+    ts[n_cross + 1] = 1.0;
+    return classify_intervals(seg, poly, ts.data(), n_cross + 2);
+  }
+
+  // Large polygons: collect the crossings plus the endpoints on the heap and
+  // classify every sub-interval by its midpoint.
   std::vector<double> ts;
   ts.reserve(poly.size() + 2);
   ts.push_back(0.0);
   ts.push_back(1.0);
   for (std::size_t i = 0; i < poly.size(); ++i) {
-    if (const auto t = segment_intersection_param(seg, poly.edge(i))) ts.push_back(*t);
+    const Segment e = poly.edge(i);
+    if (std::max(e.a.x, e.b.x) < lo_x || std::min(e.a.x, e.b.x) > hi_x ||
+        std::max(e.a.y, e.b.y) < lo_y || std::min(e.a.y, e.b.y) > hi_y) {
+      continue;
+    }
+    if (const auto t = segment_intersection_param(seg, e)) ts.push_back(*t);
   }
-  std::sort(ts.begin(), ts.end());
-
-  const double seg_len = seg.length();
-  double inside_len = 0.0;
-  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
-    const double t0 = ts[i];
-    const double t1 = ts[i + 1];
-    if (t1 - t0 < kEps) continue;
-    if (poly.contains(seg.at(0.5 * (t0 + t1)))) inside_len += (t1 - t0) * seg_len;
-  }
-  return inside_len;
+  return classify_intervals(seg, poly, ts.data(), ts.size());
 }
 
 }  // namespace radloc

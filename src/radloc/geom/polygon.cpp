@@ -20,6 +20,43 @@ Polygon::Polygon(std::vector<Point2> vertices) : vertices_(std::move(vertices)) 
     max_y = std::max(max_y, v.y);
   }
   aabb_ = AreaBounds{Point2{min_x, min_y}, Point2{max_x, max_y}};
+  build_slab_rects();
+}
+
+void Polygon::build_slab_rects() {
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const bool axis_aligned =
+        vertices_[i].x == vertices_[j].x || vertices_[i].y == vertices_[j].y;
+    if (!axis_aligned) return;  // general polygon: no decomposition
+  }
+
+  // Scanline decomposition: split the y-range at every vertex y; within one
+  // slab the interior is a fixed set of x-intervals, found by intersecting
+  // the slab's midline with the vertical edges (even-odd pairing).
+  std::vector<double> ys;
+  ys.reserve(n);
+  for (const auto& v : vertices_) ys.push_back(v.y);
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<double> xs;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const double y0 = ys[s];
+    const double y1 = ys[s + 1];
+    const double mid = 0.5 * (y0 + y1);
+    xs.clear();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+      const Point2& vi = vertices_[i];
+      const Point2& vj = vertices_[j];
+      if (vi.x != vj.x) continue;  // horizontal edge: never crosses the midline
+      if ((vi.y > mid) != (vj.y > mid)) xs.push_back(vi.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+      slab_rects_.push_back(AreaBounds{Point2{xs[k], y0}, Point2{xs[k + 1], y1}});
+    }
+  }
 }
 
 bool Polygon::contains(const Point2& p) const {
@@ -31,8 +68,13 @@ bool Polygon::contains(const Point2& p) const {
     const Point2& vj = vertices_[j];
     const bool crosses = (vi.y > p.y) != (vj.y > p.y);
     if (crosses) {
-      const double x_at = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
-      if (p.x < x_at) inside = !inside;
+      // p.x < vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x) with the
+      // division cleared; dy != 0 for a straddling edge, and the comparison
+      // direction flips with its sign. Exact for axis-aligned edges.
+      const double dy = vi.y - vj.y;
+      const double lhs = (p.x - vj.x) * dy;
+      const double rhs = (p.y - vj.y) * (vi.x - vj.x);
+      if (dy > 0.0 ? lhs < rhs : lhs > rhs) inside = !inside;
     }
   }
   return inside;

@@ -36,9 +36,18 @@ class Polygon {
   /// Signed area (positive for counter-clockwise winding).
   [[nodiscard]] double signed_area() const;
 
+  /// Disjoint axis-aligned rectangles whose union is the interior — built at
+  /// construction when every edge is axis-aligned (true for all paper
+  /// obstacle shapes), empty otherwise. Lets chord_length replace the
+  /// crossing sweep with a per-rectangle slab clip.
+  [[nodiscard]] const std::vector<AreaBounds>& slab_rects() const { return slab_rects_; }
+
  private:
+  void build_slab_rects();
+
   std::vector<Point2> vertices_;
   AreaBounds aabb_;
+  std::vector<AreaBounds> slab_rects_;
 };
 
 /// Axis-aligned rectangle polygon [x0,x1] x [y0,y1].

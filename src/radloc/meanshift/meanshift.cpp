@@ -135,25 +135,48 @@ std::vector<SourceEstimate> MeanShiftEstimator::estimate(std::span<const Point2>
 
   // Basin support: each particle contributes its weight to the nearest mode
   // within the kernel's reach (approximate basin assignment — exact basins
-  // would need a full ascent per particle).
+  // would need a full ascent per particle). The O(particles x modes) scan is
+  // chunked over the pool with per-chunk accumulators merged serially; chunk
+  // boundaries are fixed (not per-thread), so the merged sums are
+  // bit-identical at any thread count.
   const double assign_radius2 = square(std::max(cfg_.merge_radius, 2.0 * cfg_.bandwidth_xy));
   const double core_radius2 = square(cfg_.bandwidth_xy);
   std::vector<double> support(kept.size(), 0.0);
   std::vector<double> core(kept.size(), 0.0);
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    if (weights[i] <= 0.0) continue;
-    double best_d2 = assign_radius2;
-    std::size_t best = kept.size();
-    for (std::size_t k = 0; k < kept.size(); ++k) {
-      const double d2 = distance2(positions[i], kept[k].pos);
-      if (d2 < best_d2) {
-        best_d2 = d2;
-        best = k;
+  if (!kept.empty()) {
+    constexpr std::size_t kChunk = 2048;
+    const std::size_t num_chunks = (positions.size() + kChunk - 1) / kChunk;
+    std::vector<std::vector<double>> chunk_support(num_chunks);
+    std::vector<std::vector<double>> chunk_core(num_chunks);
+    pool_->for_each_index(num_chunks, [&](std::size_t c) {
+      auto& sup = chunk_support[c];
+      auto& cor = chunk_core[c];
+      sup.assign(kept.size(), 0.0);
+      cor.assign(kept.size(), 0.0);
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(positions.size(), begin + kChunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (weights[i] <= 0.0) continue;
+        double best_d2 = assign_radius2;
+        std::size_t best = kept.size();
+        for (std::size_t k = 0; k < kept.size(); ++k) {
+          const double d2 = distance2(positions[i], kept[k].pos);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = k;
+          }
+        }
+        if (best < kept.size()) {
+          sup[best] += weights[i];
+          if (best_d2 <= core_radius2) cor[best] += weights[i];
+        }
       }
-    }
-    if (best < kept.size()) {
-      support[best] += weights[i];
-      if (best_d2 <= core_radius2) core[best] += weights[i];
+    });
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (std::size_t k = 0; k < kept.size(); ++k) {
+        support[k] += chunk_support[c][k];
+        core[k] += chunk_core[c][k];
+      }
     }
   }
 

@@ -1,5 +1,6 @@
 #include "radloc/radiation/environment.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "radloc/geom/intersect.hpp"
@@ -7,10 +8,20 @@
 namespace radloc {
 
 double Environment::path_attenuation(const Segment& seg) const {
+  if (obstacles_.empty()) return 0.0;
+
+  // Segment AABB, computed once for the whole obstacle sweep.
+  const double lo_x = std::min(seg.a.x, seg.b.x);
+  const double hi_x = std::max(seg.a.x, seg.b.x);
+  const double lo_y = std::min(seg.a.y, seg.b.y);
+  const double hi_y = std::max(seg.a.y, seg.b.y);
+
   double acc = 0.0;
-  for (const auto& obstacle : obstacles_) {
-    const double l = chord_length(seg, obstacle.shape());
-    if (l > 0.0) acc += obstacle.mu() * l;
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const AreaBounds& box = aabbs_[i];
+    if (lo_x > box.max.x || hi_x < box.min.x || lo_y > box.max.y || hi_y < box.min.y) continue;
+    const double l = chord_length(seg, obstacles_[i].shape());
+    if (l > 0.0) acc += obstacles_[i].mu() * l;
   }
   return acc;
 }

@@ -1,0 +1,73 @@
+#include "radloc/radiation/transmission_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radloc/common/math.hpp"
+#include "radloc/geom/segment.hpp"
+
+namespace radloc {
+
+TransmissionCache::TransmissionCache(const Environment& env, double cell_size,
+                                     std::size_t max_fields)
+    : env_(&env),
+      cell_size_(cell_size),
+      max_fields_(max_fields),
+      revision_(env.revision()) {
+  require(cell_size > 0.0, "transmission cache cell size must be positive");
+  require(max_fields > 0, "transmission cache needs room for at least one field");
+  const AreaBounds& b = env.bounds();
+  nx_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(b.width() / cell_size_)));
+  ny_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(b.height() / cell_size_)));
+  dx_ = b.width() / static_cast<double>(nx_);
+  dy_ = b.height() / static_cast<double>(ny_);
+  inv_dx_ = 1.0 / dx_;
+  inv_dy_ = 1.0 / dy_;
+}
+
+void TransmissionCache::build_field(Field& field) const {
+  const AreaBounds& b = env_->bounds();
+  field.transmission.resize(nodes_per_field());
+  std::size_t idx = 0;
+  for (std::size_t j = 0; j <= ny_; ++j) {
+    const double y = b.min.y + static_cast<double>(j) * dy_;
+    for (std::size_t i = 0; i <= nx_; ++i, ++idx) {
+      const Point2 node{b.min.x + static_cast<double>(i) * dx_, y};
+      const double a = env_->path_attenuation(Segment{field.origin, node});
+      field.transmission[idx] = a > 0.0 ? std::exp(-a) : 1.0;
+    }
+  }
+}
+
+const TransmissionCache::Field* TransmissionCache::prepare(const Point2& origin) {
+  if (env_->revision() != revision_) {
+    fields_.clear();
+    revision_ = env_->revision();
+  }
+  for (const auto& f : fields_) {
+    if (f.origin == origin) return &f;
+  }
+  if (fields_.size() >= max_fields_) return nullptr;
+  fields_.push_back(Field{origin, {}});
+  build_field(fields_.back());
+  return &fields_.back();
+}
+
+double TransmissionCache::transmission(const Field& field, const Point2& target) const {
+  const AreaBounds& b = env_->bounds();
+  const double u = std::clamp((target.x - b.min.x) * inv_dx_, 0.0, static_cast<double>(nx_));
+  const double v = std::clamp((target.y - b.min.y) * inv_dy_, 0.0, static_cast<double>(ny_));
+  const std::size_t i = std::min(static_cast<std::size_t>(u), nx_ - 1);
+  const std::size_t j = std::min(static_cast<std::size_t>(v), ny_ - 1);
+  const double fu = u - static_cast<double>(i);
+  const double fv = v - static_cast<double>(j);
+
+  const std::size_t row = j * (nx_ + 1) + i;
+  const double t00 = field.transmission[row];
+  const double t10 = field.transmission[row + 1];
+  const double t01 = field.transmission[row + nx_ + 1];
+  const double t11 = field.transmission[row + nx_ + 2];
+  return (1.0 - fv) * ((1.0 - fu) * t00 + fu * t10) + fv * ((1.0 - fu) * t01 + fu * t11);
+}
+
+}  // namespace radloc

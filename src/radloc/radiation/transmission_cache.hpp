@@ -1,0 +1,77 @@
+// Per-sensor memoized transmission fields — the known-obstacle hot path.
+//
+// When the filter models obstacles (Eq. 3), every particle weighting asks for
+// the transmission of a segment whose ORIGIN is a fixed sensor position that
+// repeats thousands of times per measurement and every measurement thereafter.
+// This cache trades that repeated segment/polygon geometry for one uniform
+// grid per origin whose nodes hold the exact transmission exp(-attenuation);
+// queries bilinearly interpolate in the transmission domain, so they are pure
+// arithmetic — no geometry and no exp. Accuracy is bounded by the grid pitch
+// (the field is piecewise smooth away from obstacle silhouette edges);
+// exactness is recovered by disabling the cache
+// (FilterConfig::use_transmission_cache, default off, keeps seed numerics
+// untouched).
+//
+// Thread-safety contract: prepare() mutates and must be called serially;
+// transmission() against a prepared field is read-only and safe to fan out
+// across the thread pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/radiation/environment.hpp"
+
+namespace radloc {
+
+class TransmissionCache {
+ public:
+  /// One origin's transmission field sampled at the grid nodes.
+  struct Field {
+    Point2 origin;
+    /// exp(-path_attenuation) node values, (nx+1) x (ny+1), row-major in y.
+    std::vector<double> transmission;
+  };
+
+  /// `cell_size` is the grid pitch over env.bounds() (smaller = more accurate,
+  /// costlier to build); `max_fields` caps memory for mobile-detector streams
+  /// where origins never repeat — beyond the cap, prepare() declines and the
+  /// caller falls back to exact geometry. The environment is borrowed and
+  /// must outlive the cache.
+  TransmissionCache(const Environment& env, double cell_size, std::size_t max_fields = 256);
+
+  /// Returns the field for rays starting at `origin`, building it (exact
+  /// per-node path_attenuation) on first use. If the environment's obstacle
+  /// revision changed since the fields were built, every field is dropped
+  /// first. Returns nullptr when `max_fields` distinct origins already exist.
+  /// The pointer stays valid until the next prepare() call.
+  const Field* prepare(const Point2& origin);
+
+  /// Bilinearly interpolated transmission from `field.origin` to `target`;
+  /// node values are exact exp(-path_attenuation). Targets outside the
+  /// bounds clamp to the boundary node values.
+  [[nodiscard]] double transmission(const Field& field, const Point2& target) const;
+
+  [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
+  [[nodiscard]] std::size_t nodes_per_field() const { return (nx_ + 1) * (ny_ + 1); }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+
+ private:
+  void build_field(Field& field) const;
+
+  const Environment* env_;
+  double cell_size_;
+  std::size_t max_fields_;
+  std::size_t nx_;  ///< cell count in x (nodes: nx_ + 1)
+  std::size_t ny_;  ///< cell count in y (nodes: ny_ + 1)
+  double dx_;
+  double dy_;
+  double inv_dx_;
+  double inv_dy_;
+  std::uint64_t revision_;
+  std::vector<Field> fields_;  // linear scan: origin sets are sensor-sized
+};
+
+}  // namespace radloc

@@ -25,10 +25,12 @@ TEST(ThreadPool, ZeroThreadsBehavesLikeOne) {
   EXPECT_EQ(count, 10);
 }
 
+// The sweep constructs pools with max_fanout == thread count so the queued
+// dispatch path is exercised even on hosts with fewer cores than threads.
 class ThreadPoolSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(ThreadPoolSweep, EveryIndexRunsExactlyOnce) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), GetParam());
   constexpr std::size_t n = 5000;
   std::vector<std::atomic<int>> hits(n);
   pool.for_each_index(n, [&](std::size_t i) { hits[i].fetch_add(1); });
@@ -36,7 +38,7 @@ TEST_P(ThreadPoolSweep, EveryIndexRunsExactlyOnce) {
 }
 
 TEST_P(ThreadPoolSweep, ParallelSumMatchesSerial) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), GetParam());
   constexpr std::size_t n = 10000;
   std::vector<double> data(n);
   for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 0.5;
@@ -54,7 +56,7 @@ TEST_P(ThreadPoolSweep, ParallelSumMatchesSerial) {
 }
 
 TEST_P(ThreadPoolSweep, ReusableAcrossManyCalls) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), GetParam());
   for (int round = 0; round < 50; ++round) {
     std::atomic<int> count{0};
     pool.for_each_index(64, [&](std::size_t) { count.fetch_add(1); });
@@ -80,7 +82,7 @@ TEST(ThreadPool, SingleElementRunsOnCaller) {
 }
 
 TEST(ThreadPool, ChunksCoverRangeWithoutOverlap) {
-  ThreadPool pool(3);
+  ThreadPool pool(3, 3);
   std::mutex mu;
   std::vector<std::pair<std::size_t, std::size_t>> chunks;
   pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "radloc/concurrency/thread_pool.hpp"
+#include "radloc/core/localizer.hpp"
 #include "radloc/filter/particle_filter.hpp"
 #include "radloc/filter/resample.hpp"
 #include "radloc/radiation/intensity_model.hpp"
@@ -371,6 +373,74 @@ TEST(FusionFilter, KnownObstacleModeChangesLikelihood) {
   // Both should find the source; the aware filter at least as well.
   const double aware_mass = mass_near(aware, {15, 50}, 15.0);
   EXPECT_GT(aware_mass, 0.2);
+}
+
+TEST(FusionFilter, WeightsBitIdenticalAcrossThreadCounts) {
+  // Determinism contract of the parallel weight update: chunks write
+  // disjoint slots and every reduction (max, sum) runs serially in index
+  // order, so weights and particle states are bit-identical at any thread
+  // count. Pools are built with forced fan-out so the queued dispatch path
+  // runs even on single-core hosts.
+  Environment env(make_area(100, 100), {Obstacle(make_u_shape(38, 35, 62, 60, 2.0), 0.2)});
+  const auto sensors = test_sensors(env);
+  FilterConfig cfg = small_config();
+  cfg.use_known_obstacles = true;
+
+  MeasurementSimulator sim(env, sensors, {{{47, 71}, 40.0}, {{81, 42}, 40.0}});
+  Rng noise(31);
+  std::vector<Measurement> stream;
+  for (int step = 0; step < 5; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) stream.push_back(m);
+  }
+
+  FusionParticleFilter serial(env, sensors, cfg, Rng(33));
+  for (const auto& m : stream) (void)serial.process(m);
+
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads, /*max_fanout=*/threads);
+    FusionParticleFilter parallel(env, sensors, cfg, Rng(33));
+    parallel.set_thread_pool(&pool);
+    for (const auto& m : stream) (void)parallel.process(m);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial.weights()[i], parallel.weights()[i]) << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(serial.positions()[i].x, parallel.positions()[i].x) << "threads=" << threads;
+      ASSERT_EQ(serial.positions()[i].y, parallel.positions()[i].y) << "threads=" << threads;
+      ASSERT_EQ(serial.strengths()[i], parallel.strengths()[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(FusionFilter, LocalizerEstimatesBitIdenticalAcrossThreadCounts) {
+  // End-to-end check over the public entry point: filter weighting and the
+  // mean-shift basin-support accumulation both fan out over the pool, and
+  // both must leave estimates independent of cfg.num_threads.
+  Environment env(make_area(100, 100), {Obstacle(make_u_shape(38, 35, 62, 60, 2.0), 0.2)});
+  const auto sensors = test_sensors(env);
+
+  std::vector<std::vector<SourceEstimate>> per_thread_count;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    LocalizerConfig cfg;
+    cfg.filter.num_particles = 1500;
+    cfg.filter.use_known_obstacles = true;
+    cfg.num_threads = threads;
+    MultiSourceLocalizer loc(env, sensors, cfg, /*seed=*/45);
+    MeasurementSimulator sim(env, sensors, {{{47, 71}, 40.0}});
+    Rng noise(46);
+    for (int step = 0; step < 5; ++step) loc.process_all(sim.sample_time_step(noise));
+    per_thread_count.push_back(loc.estimate());
+  }
+
+  for (std::size_t t = 1; t < per_thread_count.size(); ++t) {
+    ASSERT_EQ(per_thread_count[0].size(), per_thread_count[t].size());
+    for (std::size_t k = 0; k < per_thread_count[0].size(); ++k) {
+      EXPECT_EQ(per_thread_count[0][k].pos.x, per_thread_count[t][k].pos.x);
+      EXPECT_EQ(per_thread_count[0][k].pos.y, per_thread_count[t][k].pos.y);
+      EXPECT_EQ(per_thread_count[0][k].strength, per_thread_count[t][k].strength);
+      EXPECT_EQ(per_thread_count[0][k].support, per_thread_count[t][k].support);
+    }
+  }
 }
 
 }  // namespace
