@@ -36,6 +36,16 @@ void MultiSourceLocalizer::process(const Measurement& m) {
   recent_size_[m.sensor] = std::min(recent_size_[m.sensor] + 1, buf.size());
 }
 
+ReadingFault MultiSourceLocalizer::try_process(const Measurement& m) {
+  const ReadingFault fault = filter_.try_process(m);
+  if (fault != ReadingFault::kNone) return fault;
+  auto& buf = recent_readings_[m.sensor];
+  buf[recent_head_[m.sensor]] = m.cpm;
+  recent_head_[m.sensor] = (recent_head_[m.sensor] + 1) % buf.size();
+  recent_size_[m.sensor] = std::min(recent_size_[m.sensor] + 1, buf.size());
+  return ReadingFault::kNone;
+}
+
 void MultiSourceLocalizer::process_all(std::span<const Measurement> batch) {
   for (const auto& m : batch) process(m);
 }

@@ -60,8 +60,15 @@ class MultiSourceLocalizer {
   MultiSourceLocalizer(const Environment& env, std::vector<Sensor> sensors, LocalizerConfig cfg,
                        std::uint64_t seed);
 
-  /// Feeds one measurement (one filter iteration, Sec. V-B/C/E).
+  /// Feeds one measurement (one filter iteration, Sec. V-B/C/E). Malformed
+  /// measurements throw std::invalid_argument naming the specific fault.
   void process(const Measurement& m);
+
+  /// Non-throwing ingestion for feeds where malformed readings are expected
+  /// (field telemetry, hostile networks): validates, tallies the verdict
+  /// (see filter().validator()), processes only well-formed measurements,
+  /// and returns the fault — ReadingFault::kNone on success.
+  ReadingFault try_process(const Measurement& m);
 
   /// Feeds a batch in the given order (convenience for one time step).
   void process_all(std::span<const Measurement> batch);

@@ -26,6 +26,7 @@ FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<S
       sensors_(std::move(sensors)),
       cfg_(cfg),
       rng_(rng),
+      validator_(sensors_.size()),
       movement_(std::make_unique<StaticMovement>()),
       grid_(env.bounds(), index_cell_size(cfg)) {
   require(cfg_.num_particles > 0, "filter needs at least one particle");
@@ -104,14 +105,28 @@ std::vector<Particle> FusionParticleFilter::particles() const {
 }
 
 std::size_t FusionParticleFilter::process(const Measurement& m) {
-  require(m.sensor < sensors_.size(), "measurement from unknown sensor");
+  MeasurementValidator::enforce(validator_.admit(m));
   const Sensor& sensor = sensors_[m.sensor];
-  return process_reading(sensor.pos, sensor.response, m.cpm);
+  return process_reading_impl(sensor.pos, sensor.response, m.cpm);
+}
+
+ReadingFault FusionParticleFilter::try_process(const Measurement& m) {
+  const ReadingFault fault = validator_.admit(m);
+  if (fault != ReadingFault::kNone) return fault;
+  const Sensor& sensor = sensors_[m.sensor];
+  (void)process_reading_impl(sensor.pos, sensor.response, m.cpm);
+  return ReadingFault::kNone;
 }
 
 std::size_t FusionParticleFilter::process_reading(const Point2& at,
                                                   const SensorResponse& response, double cpm) {
-  require(cpm >= 0.0 && std::isfinite(cpm), "CPM reading must be finite and non-negative");
+  MeasurementValidator::enforce(validator_.admit_reading(at, cpm));
+  return process_reading_impl(at, response, cpm);
+}
+
+std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
+                                                       const SensorResponse& response,
+                                                       double cpm) {
   ++iteration_;
 
   if (grid_dirty_) {

@@ -31,6 +31,7 @@
 #include "radloc/radiation/transmission_cache.hpp"
 #include "radloc/rng/rng.hpp"
 #include "radloc/sensornet/sensor.hpp"
+#include "radloc/sensornet/validation.hpp"
 
 namespace radloc {
 
@@ -45,15 +46,31 @@ class FusionParticleFilter {
   FusionParticleFilter(const Environment& env, std::vector<Sensor> sensors, FilterConfig cfg,
                        Rng rng);
 
-  /// Processes one measurement (one filter iteration). Unknown sensor ids
-  /// throw std::invalid_argument. Returns the number of particles updated
-  /// (|P'|); 0 means the fusion range was empty or the update degenerated
-  /// and was skipped.
+  /// Processes one measurement (one filter iteration). Malformed input
+  /// (unknown sensor id, NaN/inf/negative CPM — see sensornet/validation.hpp)
+  /// throws std::invalid_argument with the specific fault. Returns the
+  /// number of particles updated (|P'|); 0 means the fusion range was empty
+  /// or the update degenerated and was skipped.
+  ///
+  /// Degenerate-update semantics (pinned by tests): when the fusion disk is
+  /// EMPTY the iteration is a no-op. When the disk is non-empty but the
+  /// weight update degenerates (all log-likelihoods -inf, or zero posterior
+  /// mass), the PREDICT step has already run — a non-static movement model
+  /// has evolved the selected particles — and only the update/resample is
+  /// skipped: weights are left exactly as they were.
   std::size_t process(const Measurement& m);
+
+  /// Non-throwing ingestion: validates `m`, tallies the verdict on the
+  /// validator, and processes only well-formed measurements. Returns the
+  /// fault (ReadingFault::kNone on success) — the choke point for feeds
+  /// where malformed readings are expected and must be counted, not fatal.
+  ReadingFault try_process(const Measurement& m);
 
   /// The same filter iteration for a reading taken at an arbitrary position
   /// (a MOBILE detector, cf. the controlled-search literature [18]): the
   /// fusion disk is centered on `at` and the likelihood uses `response`.
+  /// `at` must be finite (it need not lie inside the bounds); same
+  /// validation and degenerate-update semantics as process().
   std::size_t process_reading(const Point2& at, const SensorResponse& response, double cpm);
 
   /// Number of iterations processed so far (t).
@@ -86,6 +103,10 @@ class FusionParticleFilter {
   /// The per-sensor transmission cache, if cfg enabled one (diagnostics).
   [[nodiscard]] const TransmissionCache* transmission_cache() const { return cache_.get(); }
 
+  /// Ingestion validator: per-fault accept/reject tallies for everything fed
+  /// through process()/try_process()/process_reading().
+  [[nodiscard]] const MeasurementValidator& validator() const { return validator_; }
+
   /// Effective number of particles 1 / sum(w^2) — a standard degeneracy
   /// diagnostic (exposed for tests and ablations).
   [[nodiscard]] double effective_sample_size() const;
@@ -98,11 +119,14 @@ class FusionParticleFilter {
   [[nodiscard]] Point2 random_position();
   [[nodiscard]] double random_strength();
   void resample_subset(std::span<const std::uint32_t> subset, double subset_mass);
+  /// The filter iteration proper; input already validated.
+  std::size_t process_reading_impl(const Point2& at, const SensorResponse& response, double cpm);
 
   const Environment* env_;
   std::vector<Sensor> sensors_;
   FilterConfig cfg_;
   Rng rng_;
+  MeasurementValidator validator_;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<TransmissionCache> cache_;
 

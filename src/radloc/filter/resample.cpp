@@ -1,6 +1,6 @@
 #include "radloc/filter/resample.hpp"
 
-#include <numeric>
+#include <cmath>
 
 #include "radloc/common/math.hpp"
 #include "radloc/rng/distributions.hpp"
@@ -9,7 +9,29 @@ namespace radloc {
 
 std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double> weights,
                                                std::size_t count) {
-  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  // A single NaN/inf weight would poison the cumulative sum and silently pin
+  // every pick to one index (collapsing the subset), so non-finite input is a
+  // hard error, reported explicitly rather than folded into the total.
+  // Scanning also locates the first/last strictly positive weights: picks
+  // must never land on a zero-weight index, which the plain cumulative walk
+  // allows in two edge cases (pointer == 0 with a zero-weight prefix, and
+  // pointer drifting past the total by accumulated rounding with a
+  // zero-weight tail). Zeros add exactly nothing to an IEEE sum, so `total`
+  // matches the pre-guard accumulate bit-for-bit and well-formed inputs
+  // resample identically.
+  double total = 0.0;
+  std::size_t first_pos = weights.size();
+  std::size_t last_pos = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    require(std::isfinite(w), "resampling weights must be finite (NaN/inf weight)");
+    require(w >= 0.0, "resampling weights must be non-negative");
+    if (w > 0.0) {
+      if (first_pos == weights.size()) first_pos = i;
+      last_pos = i;
+      total += w;
+    }
+  }
   require(total > 0.0, "resampling needs a positive total weight");
 
   std::vector<std::uint32_t> out;
@@ -18,14 +40,14 @@ std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double>
 
   const double step = total / static_cast<double>(count);
   double pointer = uniform01(rng) * step;
-  double cumulative = weights[0];
-  std::uint32_t i = 0;
+  double cumulative = weights[first_pos];
+  std::size_t i = first_pos;
   for (std::size_t k = 0; k < count; ++k) {
-    while (cumulative < pointer && i + 1 < weights.size()) {
+    while (cumulative < pointer && i < last_pos) {
       ++i;
       cumulative += weights[i];
     }
-    out.push_back(i);
+    out.push_back(static_cast<std::uint32_t>(i));
     pointer += step;
   }
   return out;

@@ -11,8 +11,10 @@ namespace radloc {
 
 /// Systematic (stratified, single-offset) resampling: draws `count` indices
 /// in [0, weights.size()) with probability proportional to weights[i].
-/// Weights need not be normalized but must be non-negative with a positive
-/// sum. Output indices are non-decreasing.
+/// Weights need not be normalized but must be finite and non-negative with a
+/// positive sum (violations throw std::invalid_argument — a single NaN would
+/// otherwise silently collapse every pick onto one index). Output indices are
+/// non-decreasing, and every returned index has strictly positive weight.
 [[nodiscard]] std::vector<std::uint32_t> systematic_resample(Rng& rng,
                                                              std::span<const double> weights,
                                                              std::size_t count);

@@ -44,7 +44,10 @@ std::vector<std::uint32_t> MeanShiftEstimator::select_seeds(
     }
     bool far_enough = true;
     for (const auto s : seeds) {
-      if (distance2(positions[i], positions[s]) < sep2) {
+      // The index check matters when seed_separation == 0: 0 < 0 is false,
+      // so the distance test alone would admit the same particle once per
+      // stratum and burn max_seeds duplicate ascents.
+      if (s == static_cast<std::uint32_t>(i) || distance2(positions[i], positions[s]) < sep2) {
         far_enough = false;
         break;
       }

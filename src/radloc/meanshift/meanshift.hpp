@@ -74,6 +74,14 @@ class MeanShiftEstimator {
 
   [[nodiscard]] const MeanShiftConfig& config() const { return cfg_; }
 
+  /// The deterministic stratified seed draw estimate() starts from: particle
+  /// indices sampled proportionally to weight, thinned by seed_separation,
+  /// never containing a duplicate index (a duplicate would burn one of the
+  /// max_seeds ascents re-climbing the same start). Exposed for tests and
+  /// diagnostics; requires equal-length spans, weights clamped at >= 0.
+  [[nodiscard]] std::vector<std::uint32_t> select_seeds(std::span<const Point2> positions,
+                                                        std::span<const double> weights) const;
+
  private:
   struct Mode {
     Point2 pos;
@@ -85,9 +93,6 @@ class MeanShiftEstimator {
   [[nodiscard]] Mode ascend(std::span<const Point2> positions, std::span<const double> strengths,
                             std::span<const double> weights, Point2 seed_pos,
                             double seed_log_strength) const;
-
-  [[nodiscard]] std::vector<std::uint32_t> select_seeds(std::span<const Point2> positions,
-                                                        std::span<const double> weights) const;
 
   MeanShiftConfig cfg_;
   ThreadPool* pool_;

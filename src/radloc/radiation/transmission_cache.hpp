@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "radloc/common/types.hpp"
@@ -46,7 +47,9 @@ class TransmissionCache {
   /// per-node path_attenuation) on first use. If the environment's obstacle
   /// revision changed since the fields were built, every field is dropped
   /// first. Returns nullptr when `max_fields` distinct origins already exist.
-  /// The pointer stays valid until the next prepare() call.
+  /// Fields live in stable storage: the pointer survives later prepare()
+  /// calls for other origins and is invalidated only by an environment
+  /// revision change (which drops every field) or cache destruction.
   const Field* prepare(const Point2& origin);
 
   /// Bilinearly interpolated transmission from `field.origin` to `target`;
@@ -71,7 +74,9 @@ class TransmissionCache {
   double inv_dx_;
   double inv_dy_;
   std::uint64_t revision_;
-  std::vector<Field> fields_;  // linear scan: origin sets are sensor-sized
+  // Linear scan: origin sets are sensor-sized. A deque, not a vector, so a
+  // push_back never relocates fields handed out by earlier prepare() calls.
+  std::deque<Field> fields_;
 };
 
 }  // namespace radloc

@@ -65,8 +65,13 @@ std::vector<Measurement> RandomLatencyDelivery::deliver(Rng& rng,
   return delivered;
 }
 
-std::vector<Measurement> RandomLatencyDelivery::drain() {
-  return std::exchange(in_flight_, {});
+std::vector<Measurement> RandomLatencyDelivery::drain(Rng& rng) {
+  // The drained tail is still a set of late arrivals racing to the fusion
+  // center — returning it in insertion order would leak ordering the model
+  // promises not to provide, so it is shuffled exactly like deliver()'s.
+  std::vector<Measurement> out = std::exchange(in_flight_, {});
+  shuffle_measurements(rng, out);
+  return out;
 }
 
 }  // namespace radloc

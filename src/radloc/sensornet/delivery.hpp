@@ -28,7 +28,12 @@ class DeliveryModel {
                                                          std::vector<Measurement> batch) = 0;
 
   /// Measurements still in flight (for latency models); drained at shutdown.
-  [[nodiscard]] virtual std::vector<Measurement> drain() { return {}; }
+  /// Like deliver(), arrivals carry no ordering guarantee: latency models
+  /// shuffle the drained tail so it honors the same out-of-order contract.
+  [[nodiscard]] virtual std::vector<Measurement> drain(Rng& rng) {
+    (void)rng;
+    return {};
+  }
 };
 
 /// Perfect in-order delivery (Scenarios A and B).
@@ -54,7 +59,7 @@ class LossyDelivery final : public DeliveryModel {
 
   [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
                                                  std::vector<Measurement> batch) override;
-  [[nodiscard]] std::vector<Measurement> drain() override { return inner_->drain(); }
+  [[nodiscard]] std::vector<Measurement> drain(Rng& rng) override { return inner_->drain(rng); }
 
  private:
   double loss_rate_;
@@ -71,7 +76,7 @@ class RandomLatencyDelivery final : public DeliveryModel {
 
   [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
                                                  std::vector<Measurement> batch) override;
-  [[nodiscard]] std::vector<Measurement> drain() override;
+  [[nodiscard]] std::vector<Measurement> drain(Rng& rng) override;
 
  private:
   double delay_prob_;  // probability a queued measurement stays queued a step

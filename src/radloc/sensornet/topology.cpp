@@ -119,11 +119,16 @@ std::vector<Measurement> MultiHopDelivery::deliver(Rng& rng, std::vector<Measure
   return delivered;
 }
 
-std::vector<Measurement> MultiHopDelivery::drain() {
+std::vector<Measurement> MultiHopDelivery::drain(Rng& rng) {
   std::vector<Measurement> out;
   out.reserve(in_flight_.size());
   for (const auto& f : in_flight_) out.push_back(f.m);
   in_flight_.clear();
+  // Same out-of-order contract as deliver(): the stragglers race out too.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_index(rng, i));
+    std::swap(out[i - 1], out[j]);
+  }
   return out;
 }
 

@@ -80,7 +80,7 @@ class MultiHopDelivery final : public DeliveryModel {
 
   [[nodiscard]] std::vector<Measurement> deliver(Rng& rng,
                                                  std::vector<Measurement> batch) override;
-  [[nodiscard]] std::vector<Measurement> drain() override;
+  [[nodiscard]] std::vector<Measurement> drain(Rng& rng) override;
 
  private:
   struct InFlight {

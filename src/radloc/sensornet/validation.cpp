@@ -1,0 +1,70 @@
+#include "radloc/sensornet/validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace radloc {
+
+const char* to_string(ReadingFault fault) {
+  switch (fault) {
+    case ReadingFault::kNone:
+      return "reading accepted";
+    case ReadingFault::kUnknownSensor:
+      return "measurement from unknown sensor id";
+    case ReadingFault::kNonFiniteCpm:
+      return "CPM reading must be finite (got NaN or inf)";
+    case ReadingFault::kNegativeCpm:
+      return "CPM reading must be non-negative";
+    case ReadingFault::kNonFinitePosition:
+      return "reading position must be finite (got NaN or inf coordinate)";
+  }
+  return "unknown reading fault";
+}
+
+namespace {
+
+ReadingFault check_cpm(double cpm) {
+  if (!std::isfinite(cpm)) return ReadingFault::kNonFiniteCpm;
+  if (cpm < 0.0) return ReadingFault::kNegativeCpm;
+  return ReadingFault::kNone;
+}
+
+}  // namespace
+
+ReadingFault MeasurementValidator::check(const Measurement& m) const {
+  if (sensor_count_ != kAnySensorId && m.sensor >= sensor_count_) {
+    return ReadingFault::kUnknownSensor;
+  }
+  return check_cpm(m.cpm);
+}
+
+ReadingFault MeasurementValidator::check_reading(const Point2& at, double cpm) const {
+  // A NaN coordinate is worse than a wrong answer: downstream grid-cell
+  // arithmetic float->int casts it, which is undefined behavior.
+  if (!std::isfinite(at.x) || !std::isfinite(at.y)) return ReadingFault::kNonFinitePosition;
+  return check_cpm(cpm);
+}
+
+ReadingFault MeasurementValidator::admit(const Measurement& m) {
+  const ReadingFault fault = check(m);
+  ++counts_[static_cast<std::size_t>(fault)];
+  return fault;
+}
+
+ReadingFault MeasurementValidator::admit_reading(const Point2& at, double cpm) {
+  const ReadingFault fault = check_reading(at, cpm);
+  ++counts_[static_cast<std::size_t>(fault)];
+  return fault;
+}
+
+void MeasurementValidator::enforce(ReadingFault fault) {
+  if (fault != ReadingFault::kNone) throw std::invalid_argument(to_string(fault));
+}
+
+std::size_t MeasurementValidator::rejected() const {
+  std::size_t n = 0;
+  for (std::size_t f = 1; f < kReadingFaultCount; ++f) n += counts_[f];
+  return n;
+}
+
+}  // namespace radloc

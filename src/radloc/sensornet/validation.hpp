@@ -1,0 +1,80 @@
+// Measurement ingestion validation — the single choke point where raw
+// readings are admitted into the localization pipeline.
+//
+// The paper's robustness claim (Sec. V) is about *delivery* pathologies:
+// loss, reordering, latency. A production ingest path additionally sees
+// *malformed* readings — unknown sensor ids, NaN/inf counts from failed
+// hardware, negative rates from buggy decoders. Before this module those
+// checks lived as scattered `require(...)` calls with generic messages and
+// no way to count or tolerate rejects. MeasurementValidator centralizes
+// them: one place that defines what a well-formed reading is, names each
+// fault explicitly, tallies verdicts for telemetry, and lets callers choose
+// between throwing (enforce) and non-throwing (check/admit) handling.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "radloc/common/types.hpp"
+#include "radloc/sensornet/sensor.hpp"
+
+namespace radloc {
+
+/// Why a reading was rejected at ingestion. kNone means well-formed.
+enum class ReadingFault : std::uint8_t {
+  kNone = 0,
+  kUnknownSensor,      ///< sensor id outside the known deployment
+  kNonFiniteCpm,       ///< NaN or infinite count rate
+  kNegativeCpm,        ///< count rates cannot be negative
+  kNonFinitePosition,  ///< mobile reading taken at a NaN/inf position
+};
+
+inline constexpr std::size_t kReadingFaultCount = 5;
+
+/// Human-readable fault description (stable, suitable for error messages).
+[[nodiscard]] const char* to_string(ReadingFault fault);
+
+/// Validates measurements against a deployment of `sensor_count` sensors
+/// (dense ids 0..sensor_count-1) and position-stamped mobile readings.
+/// Stateless verdicts via check*/enforce; admit* additionally tallies the
+/// verdict into per-fault counters so ingest health is observable.
+class MeasurementValidator {
+ public:
+  /// Sentinel for "no deployment to check against": pipelines that only
+  /// ever ingest position-stamped readings skip the id check entirely.
+  /// Distinct from an EMPTY deployment (sensor_count == 0), where every
+  /// sensor id is unknown by definition.
+  static constexpr std::size_t kAnySensorId = static_cast<std::size_t>(-1);
+
+  explicit MeasurementValidator(std::size_t sensor_count = kAnySensorId)
+      : sensor_count_(sensor_count) {}
+
+  /// Verdict for a sensor-id measurement (id + count rate).
+  [[nodiscard]] ReadingFault check(const Measurement& m) const;
+
+  /// Verdict for a position-stamped reading (mobile detector).
+  [[nodiscard]] ReadingFault check_reading(const Point2& at, double cpm) const;
+
+  /// check()/check_reading() + verdict tally.
+  ReadingFault admit(const Measurement& m);
+  ReadingFault admit_reading(const Point2& at, double cpm);
+
+  /// Throws std::invalid_argument carrying to_string(fault) unless kNone.
+  static void enforce(ReadingFault fault);
+
+  [[nodiscard]] std::size_t sensor_count() const { return sensor_count_; }
+
+  /// Number of admit* calls that returned `fault` (kNone counts accepts).
+  [[nodiscard]] std::size_t count(ReadingFault fault) const {
+    return counts_[static_cast<std::size_t>(fault)];
+  }
+  [[nodiscard]] std::size_t accepted() const { return count(ReadingFault::kNone); }
+  [[nodiscard]] std::size_t rejected() const;
+
+ private:
+  std::size_t sensor_count_;
+  std::array<std::size_t, kReadingFaultCount> counts_{};
+};
+
+}  // namespace radloc

@@ -71,6 +71,46 @@ TEST(SystematicResample, ZeroCountIsEmpty) {
   EXPECT_TRUE(systematic_resample(rng, weights, 0).empty());
 }
 
+TEST(SystematicResample, RejectsNonFiniteAndNegativeWeights) {
+  // Before the guard these slipped through silently: a NaN poisons the
+  // running total and the comparison `cumulative < pointer` is false for
+  // every NaN, so picks collapse onto whatever index the scan stalls at.
+  Rng rng(6);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<std::vector<double>> bad{
+      {0.5, nan, 0.5}, {nan}, {1.0, inf}, {1.0, -0.25, 1.0}};
+  for (const auto& weights : bad) {
+    EXPECT_THROW((void)systematic_resample(rng, weights, 8), std::invalid_argument);
+  }
+}
+
+TEST(SystematicResample, ZeroPrefixAndSuffixAreNeverPicked) {
+  // Leading zeros: the cursor must start at the first positive weight, and
+  // trailing zeros must be unreachable even when the final stratified
+  // pointer lands at (or, through rounding, just past) the total mass.
+  Rng rng(7);
+  const std::vector<double> weights{0.0, 0.0, 0.0, 2.0, 1.0, 0.0, 0.0};
+  for (int round = 0; round < 50; ++round) {
+    for (const auto i : systematic_resample(rng, weights, 64)) {
+      ASSERT_GE(i, 3u);
+      ASSERT_LE(i, 4u);
+    }
+  }
+}
+
+TEST(SystematicResample, TinyWeightsDoNotEscapeTheSupport) {
+  // Denormal-scale totals stress the pointer>total rounding edge: every
+  // pick must still carry strictly positive weight.
+  Rng rng(8);
+  std::vector<double> weights(40, 0.0);
+  weights[12] = std::numeric_limits<double>::denorm_min();
+  weights[31] = std::numeric_limits<double>::denorm_min();
+  for (const auto i : systematic_resample(rng, weights, 100)) {
+    ASSERT_TRUE(i == 12u || i == 31u);
+  }
+}
+
 TEST(FusionFilter, InitializationIsUniform) {
   const Environment env = test_env();
   FusionParticleFilter filter(env, test_sensors(env), small_config(), Rng(7));

@@ -251,7 +251,7 @@ TEST_P(DeliveryComposition, NoDeliveryModelInventsMeasurements) {
       sent += batch.size();
       got += model->deliver(rng, std::move(batch)).size();
     }
-    got += model->drain().size();
+    got += model->drain(rng).size();
     EXPECT_LE(got, sent);  // loss allowed, invention never
   }
 }

@@ -205,6 +205,30 @@ TEST(TransmissionCache, RebuildsWhenEnvironmentChanges) {
   EXPECT_LT(cache.transmission(*field, behind), 1.0);
 }
 
+TEST(TransmissionCache, PreparedFieldPointerIsStableAcrossLaterPrepares) {
+  // Regression: prepare() hands out a Field* that the filter holds for the
+  // whole weight update while other sensors' fields are being prepared.
+  // Field storage used to be a std::vector, so a later prepare() could
+  // reallocate and leave the held pointer dangling (a use-after-free that
+  // ASan catches on the reads below).
+  Environment env(make_area(100, 100), {Obstacle(make_rect(40, 0, 60, 100), 0.2)});
+  constexpr std::size_t kMaxFields = 8;
+  TransmissionCache cache(env, /*cell_size=*/5.0, kMaxFields);
+
+  const Point2 origin{10.0, 10.0};
+  const auto* held = cache.prepare(origin);
+  ASSERT_NE(held, nullptr);
+  const Point2 probe{90.0, 50.0};
+  const double baseline = cache.transmission(*held, probe);
+
+  for (std::size_t k = 1; k < kMaxFields; ++k) {
+    ASSERT_NE(cache.prepare(Point2{10.0 + 10.0 * static_cast<double>(k), 10.0}), nullptr);
+    ASSERT_EQ(held->origin, origin) << "after prepare " << k;
+    ASSERT_EQ(cache.transmission(*held, probe), baseline) << "after prepare " << k;
+  }
+  EXPECT_EQ(cache.prepare(origin), held);  // repeat prepare: the same storage
+}
+
 TEST(TransmissionCache, FieldCapDeclinesNewOrigins) {
   Environment env(make_area(100, 100));
   TransmissionCache cache(env, /*cell_size=*/10.0, /*max_fields=*/2);

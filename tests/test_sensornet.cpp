@@ -171,8 +171,8 @@ TEST(Delivery, RandomLatencyConservesMeasurements) {
     sent += batch.size();
     received += d.deliver(rng, std::move(batch)).size();
   }
-  received += d.drain().size();
-  EXPECT_EQ(d.drain().size(), 0u);  // drain empties the queue
+  received += d.drain(rng).size();
+  EXPECT_EQ(d.drain(rng).size(), 0u);  // drain empties the queue
   EXPECT_EQ(received, sent);
 }
 
@@ -191,6 +191,38 @@ TEST(Delivery, RandomLatencyDelaysOnAverage) {
   ASSERT_EQ(received, 1000u);
   const double mean_delay = static_cast<double>(weighted_delay) / 1000.0;
   EXPECT_NEAR(mean_delay, 3.0, 0.4);
+}
+
+TEST(Delivery, DrainShufflesTheInFlightTail) {
+  // The latency model promises out-of-order arrivals; before the fix the
+  // drained shutdown tail came back in insertion order, leaking ordering
+  // deliver() never provides.
+  Rng rng(8);
+  RandomLatencyDelivery d(1e6);  // essentially nothing delivers on its own
+  std::vector<Measurement> batch;
+  for (SensorId i = 0; i < 200; ++i) batch.push_back({i, static_cast<double>(i)});
+  const auto delivered = d.deliver(rng, batch);
+  const auto tail = d.drain(rng);
+  ASSERT_EQ(delivered.size() + tail.size(), 200u);
+
+  // Still a permutation of what went in...
+  std::vector<SensorId> ids;
+  for (const auto& m : delivered) ids.push_back(m.sensor);
+  for (const auto& m : tail) ids.push_back(m.sensor);
+  std::vector<SensorId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  for (SensorId i = 0; i < 200; ++i) EXPECT_EQ(sorted[i], i);
+
+  // ...but the tail no longer preserves insertion (ascending-id) order.
+  std::size_t displaced = 0;
+  std::vector<SensorId> tail_ids;
+  for (const auto& m : tail) tail_ids.push_back(m.sensor);
+  std::vector<SensorId> tail_sorted = tail_ids;
+  std::sort(tail_sorted.begin(), tail_sorted.end());
+  for (std::size_t i = 0; i < tail_ids.size(); ++i) {
+    if (tail_ids[i] != tail_sorted[i]) ++displaced;
+  }
+  EXPECT_GT(displaced, tail_ids.size() / 2);
 }
 
 TEST(Delivery, ZeroLatencyIsImmediate) {

@@ -1,0 +1,166 @@
+// Deterministic stress harness for the delivery-model stack.
+//
+// Randomly composed stacks (loss over shuffle over latency, multi-hop with
+// per-hop loss) are driven through bursty, gappy traffic with every
+// measurement carrying a unique tag. The standing invariants: no model ever
+// invents or duplicates a measurement; loss-free stacks conserve the feed
+// exactly once the in-flight tail is drained; drain() leaves the queue empty
+// and honors the same out-of-order contract as deliver().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "radloc/rng/distributions.hpp"
+#include "radloc/sensornet/delivery.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/topology.hpp"
+
+namespace radloc {
+namespace {
+
+// Unique per-measurement tag via the cpm payload (models never alter cpm).
+double tag_of(int step, std::size_t index) {
+  return static_cast<double>(step) * 1000.0 + static_cast<double>(index);
+}
+
+struct StackSpec {
+  const char* name;
+  bool lossless;
+};
+
+std::unique_ptr<DeliveryModel> make_stack(std::size_t variant) {
+  switch (variant) {
+    case 0:
+      return std::make_unique<InOrderDelivery>();
+    case 1:
+      return std::make_unique<ShuffledDelivery>();
+    case 2:
+      return std::make_unique<RandomLatencyDelivery>(3.0);
+    case 3:
+      return std::make_unique<LossyDelivery>(0.25, std::make_unique<ShuffledDelivery>());
+    case 4:
+      return std::make_unique<LossyDelivery>(0.15,
+                                             std::make_unique<RandomLatencyDelivery>(2.0));
+    default:
+      return std::make_unique<LossyDelivery>(
+          0.1, std::make_unique<LossyDelivery>(
+                   0.1, std::make_unique<RandomLatencyDelivery>(4.0)));
+  }
+}
+
+bool stack_is_lossless(std::size_t variant) { return variant < 3; }
+
+TEST(StressDelivery, ComposedStacksNeverInventOrDuplicate) {
+  for (const std::uint64_t seed : {3u, 7u, 19u, 31u}) {
+    for (std::size_t variant = 0; variant < 6; ++variant) {
+      SCOPED_TRACE(::testing::Message() << "seed " << seed << " variant " << variant);
+      Rng rng(seed * 100 + variant);
+      auto model = make_stack(variant);
+
+      std::multiset<double> sent;
+      std::multiset<double> received;
+      for (int step = 0; step < 40; ++step) {
+        std::vector<Measurement> batch;
+        // Bursty traffic with hard gaps: some steps ship nothing at all.
+        const auto burst = (step % 5 == 4) ? 0 : uniform_index(rng, 25);
+        for (std::size_t i = 0; i < burst; ++i) {
+          const double tag = tag_of(step, i);
+          sent.insert(tag);
+          batch.push_back({static_cast<SensorId>(i), tag});
+        }
+        for (const Measurement& m : model->deliver(rng, std::move(batch))) {
+          received.insert(m.cpm);
+        }
+      }
+      for (const Measurement& m : model->drain(rng)) received.insert(m.cpm);
+      EXPECT_TRUE(model->drain(rng).empty()) << "drain must empty the queue";
+
+      // Every received tag was sent, and sent at most once.
+      for (const double tag : received) {
+        ASSERT_EQ(sent.count(tag), 1u) << "tag " << tag << " invented or duplicated";
+      }
+      ASSERT_LE(received.size(), sent.size());
+      if (stack_is_lossless(variant)) {
+        EXPECT_EQ(received, sent) << "lossless stack must conserve the feed exactly";
+      }
+    }
+  }
+}
+
+TEST(StressDelivery, LatencyChurnWithEmptyStepsConserves) {
+  Rng rng(5);
+  RandomLatencyDelivery model(5.0);
+  std::multiset<double> sent;
+  std::multiset<double> received;
+  for (int step = 0; step < 60; ++step) {
+    std::vector<Measurement> batch;
+    if (step % 4 == 0) {
+      for (std::size_t i = 0; i < 12; ++i) {
+        const double tag = tag_of(step, i);
+        sent.insert(tag);
+        batch.push_back({static_cast<SensorId>(i), tag});
+      }
+    }
+    for (const Measurement& m : model.deliver(rng, std::move(batch))) received.insert(m.cpm);
+  }
+  for (const Measurement& m : model.drain(rng)) received.insert(m.cpm);
+  EXPECT_EQ(received, sent);
+}
+
+TEST(StressDelivery, MultiHopStackConservesWhenLossFree) {
+  // Radio range just over the 50-unit grid pitch: every sensor routes to
+  // the base station (orphaned sensors are dropped by design, which would
+  // break conservation).
+  const auto sensors = place_grid(make_area(100.0, 100.0), 3, 3);
+  NetworkTopology topo(sensors, 55.0, /*base_station=*/0);
+  ASSERT_EQ(topo.connected_count(), sensors.size());
+  MultiHopDelivery model(topo, /*per_hop_loss=*/0.0, /*slots_per_step=*/1);
+
+  Rng rng(9);
+  std::multiset<double> sent;
+  std::multiset<double> received;
+  for (int step = 0; step < 30; ++step) {
+    std::vector<Measurement> batch;
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      const double tag = tag_of(step, i);
+      sent.insert(tag);
+      batch.push_back({static_cast<SensorId>(i), tag});
+    }
+    for (const Measurement& m : model.deliver(rng, std::move(batch))) received.insert(m.cpm);
+  }
+  for (const Measurement& m : model.drain(rng)) received.insert(m.cpm);
+  EXPECT_EQ(received, sent);
+}
+
+TEST(StressDelivery, MultiHopDrainShufflesStragglers) {
+  // A straggler-heavy queue: every sensor is several hops out and only one
+  // slot per step, so one deliver() leaves most measurements in flight.
+  const auto sensors = place_grid(make_area(100.0, 100.0), 5, 5);
+  NetworkTopology topo(sensors, 25.0, /*base_station=*/0);
+  MultiHopDelivery model(topo, 0.0, /*slots_per_step=*/1);
+
+  Rng rng(12);
+  std::vector<Measurement> batch;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    batch.push_back({static_cast<SensorId>(i), static_cast<double>(i)});
+  }
+  (void)model.deliver(rng, std::move(batch));
+  const auto tail = model.drain(rng);
+  ASSERT_GT(tail.size(), 8u);
+
+  std::vector<SensorId> ids;
+  for (const Measurement& m : tail) ids.push_back(m.sensor);
+  std::vector<SensorId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t displaced = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != sorted[i]) ++displaced;
+  }
+  EXPECT_GT(displaced, ids.size() / 2) << "drained stragglers came back in insertion order";
+}
+
+}  // namespace
+}  // namespace radloc

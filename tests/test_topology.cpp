@@ -119,7 +119,7 @@ TEST(MultiHop, OrphansNeverArrive) {
   const auto arrived = delivery.deliver(rng, batch);
   ASSERT_EQ(arrived.size(), 1u);
   EXPECT_EQ(arrived[0].sensor, 4u);
-  EXPECT_TRUE(delivery.drain().empty());
+  EXPECT_TRUE(delivery.drain(rng).empty());
 }
 
 TEST(MultiHop, PerHopLossCompounds) {
@@ -137,7 +137,7 @@ TEST(MultiHop, PerHopLossCompounds) {
       if (m.sensor == 8) ++far_ok;
       if (m.sensor == 1) ++near_ok;
     }
-    (void)delivery.drain();
+    (void)delivery.drain(rng);
   }
   EXPECT_NEAR(static_cast<double>(far_ok) / rounds, 0.41, 0.04);
   EXPECT_NEAR(static_cast<double>(near_ok) / rounds, 0.80, 0.04);

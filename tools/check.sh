@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# radloc correctness gauntlet: tier-1 tests plus the sanitizer suites.
+#
+#   tools/check.sh            # release + asan + tsan (full ctest each)
+#   tools/check.sh release    # any subset of: release asan tsan
+#   RADLOC_CHECK_JOBS=8 tools/check.sh
+#
+# Each stage is a CMake preset (see CMakePresets.json); build trees land in
+# build/<preset>. The script stops at the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${RADLOC_CHECK_JOBS:-$(nproc)}"
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(release asan tsan)
+fi
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    release|asan|tsan) ;;
+    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan)" >&2; exit 2 ;;
+  esac
+  echo "==> [$stage] configure"
+  cmake --preset "$stage" >/dev/null
+  echo "==> [$stage] build"
+  cmake --build --preset "$stage" -j "$jobs"
+  echo "==> [$stage] ctest"
+  ctest --preset "$stage" -j "$jobs"
+  echo "==> [$stage] OK"
+done
+
+echo "All stages passed: ${stages[*]}"
