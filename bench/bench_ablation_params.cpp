@@ -21,19 +21,24 @@ std::vector<double> run_config(const Scenario& scenario, const LocalizerConfig& 
                                double knob, std::size_t trials, std::uint64_t seed) {
   ExperimentOptions opts;
   opts.trials = trials;
-  opts.time_steps = 20;
+  opts.time_steps = bench::steps(20);
   opts.seed = seed;
   opts.localizer = cfg;
   opts.use_scenario_defaults = false;
+  opts.num_threads = bench::threads();
   const auto r = run_experiment(scenario, opts);
-  return {knob, r.avg_error_all(10, 20), r.avg_false_positives(10, 20),
-          r.avg_false_negatives(10, 20)};
+  const std::size_t from = opts.time_steps / 2;
+  const std::size_t to = opts.time_steps;
+  return {knob, r.avg_error_all(from, to), r.avg_false_positives(from, to),
+          r.avg_false_negatives(from, to)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("ablation_params");
   const std::size_t trials = bench::trials(3);
   const auto scenario = make_scenario_a(10.0, 5.0, false);
   const std::vector<std::string> header{"value", "err_late", "FP_late", "FN_late"};
@@ -44,6 +49,16 @@ int main() {
 
   std::cout << "Design-choice ablations (two 10 uCi sources, " << trials << " trials).\n";
 
+  auto record = [&json](const char* knob, const std::vector<std::vector<double>>& rows) {
+    for (const auto& r : rows) {
+      std::ostringstream cfg;
+      cfg << knob << "=" << r[0];
+      json.add("ablation-scenario-A", cfg.str(), "late_error", r[1]);
+      json.add("ablation-scenario-A", cfg.str(), "late_fp", r[2]);
+      json.add("ablation-scenario-A", cfg.str(), "late_fn", r[3]);
+    }
+  };
+
   {
     std::vector<std::vector<double>> rows;
     for (const double d : {10.0, 20.0, 28.0, 40.0, 60.0, 150.0}) {
@@ -53,6 +68,7 @@ int main() {
     }
     print_banner(std::cout, "fusion range d (paper default 28; 150 ~ no fusion range)");
     print_table(std::cout, header, rows);
+    record("fusion_range", rows);
   }
   {
     std::vector<std::vector<double>> rows;
@@ -63,6 +79,7 @@ int main() {
     }
     print_banner(std::cout, "resampling noise sigma_N (paper default 3)");
     print_table(std::cout, header, rows);
+    record("resample_sigma", rows);
   }
   {
     std::vector<std::vector<double>> rows;
@@ -73,6 +90,7 @@ int main() {
     }
     print_banner(std::cout, "random replacement fraction (paper default 0.05)");
     print_table(std::cout, header, rows);
+    record("replacement_frac", rows);
   }
   {
     std::vector<std::vector<double>> rows;
@@ -83,6 +101,7 @@ int main() {
     }
     print_banner(std::cout, "particle count NP (paper: 2000 for the 100x100 area)");
     print_table(std::cout, header, rows);
+    record("num_particles", rows);
   }
   {
     std::vector<std::vector<double>> rows;
@@ -94,6 +113,7 @@ int main() {
     print_banner(std::cout,
                  "detection log-LR threshold (-1 row = accept every mean-shift mode)");
     print_table(std::cout, header, rows);
+    record("detection_log_lr", rows);
   }
   return 0;
 }

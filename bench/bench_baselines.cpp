@@ -35,9 +35,11 @@ double seconds_since(const std::chrono::steady_clock::time_point& t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
-  const std::size_t steps = 10;
+  bench::init(argc, argv);
+  bench::JsonWriter json("baselines");
+  const std::size_t steps = bench::steps(10);
 
   Environment env(make_area(100, 100));
   auto sensors = place_grid(env.bounds(), 6, 6);
@@ -64,11 +66,16 @@ int main() {
     }
 
     std::vector<double> row{static_cast<double>(k)};
-    auto score = [&](const std::vector<SourceEstimate>& est, double secs) {
+    const std::string scenario_label = "K" + std::to_string(k);
+    auto score = [&](const char* method, const std::vector<SourceEstimate>& est, double secs) {
       const auto match = match_estimates(truth, est);
       row.push_back(match.mean_error());
       row.push_back(std::abs(static_cast<double>(est.size()) - static_cast<double>(k)));
       row.push_back(secs);
+      json.add(scenario_label, method, "mean_error", match.mean_error());
+      json.add(scenario_label, method, "k_mismatch",
+               std::abs(static_cast<double>(est.size()) - static_cast<double>(k)));
+      json.add(scenario_label, method, "seconds", secs);
     };
 
     {  // Proposed fusion-range localizer (K unknown).
@@ -77,7 +84,7 @@ int main() {
       MultiSourceLocalizer loc(env, sensors, cfg, 50 + k);
       const auto t0 = std::chrono::steady_clock::now();
       for (const auto& batch : by_step) loc.process_all(batch);
-      score(loc.estimate(), seconds_since(t0));
+      score("fusion-range", loc.estimate(), seconds_since(t0));
     }
     {  // Joint-state PF (K GIVEN — an advantage the others don't get).
       JointPfConfig cfg;
@@ -86,7 +93,7 @@ int main() {
       JointParticleFilter pf(env, sensors, cfg, Rng(60 + k));
       const auto t0 = std::chrono::steady_clock::now();
       for (const auto& m : batch_all) pf.process(m);
-      score(pf.estimate(), seconds_since(t0));
+      score("joint-pf", pf.estimate(), seconds_since(t0));
     }
     {  // MLE + BIC model selection (K estimated).
       MleConfig cfg;
@@ -97,7 +104,7 @@ int main() {
       Rng rng(70 + k);
       const auto t0 = std::chrono::steady_clock::now();
       const auto fit = mle.fit(batch_all, rng);
-      score(fit.sources, seconds_since(t0));
+      score("mle-bic", fit.sources, seconds_since(t0));
     }
     {  // EM Gaussian-mixture with AIC (Ding & Cheng [15] style).
       EmConfig cfg;
@@ -109,7 +116,7 @@ int main() {
       for (auto& v : avg) v /= static_cast<double>(steps);
       const auto t0 = std::chrono::steady_clock::now();
       const auto fit = em.fit(avg, rng);
-      score(fit.sources, seconds_since(t0));
+      score("em-gmm", fit.sources, seconds_since(t0));
     }
     {  // Grid-discretized NNLS solver.
       GridSolverConfig cfg;
@@ -118,7 +125,7 @@ int main() {
       GridSolver solver(env, sensors, cfg);
       const auto t0 = std::chrono::steady_clock::now();
       const auto fit = solver.fit_measurements(batch_all);
-      score(fit.sources, seconds_since(t0));
+      score("grid-nnls", fit.sources, seconds_since(t0));
     }
     rows.push_back(std::move(row));
   }

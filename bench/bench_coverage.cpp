@@ -14,9 +14,13 @@
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/placement.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("coverage");
   Environment env(make_area(100, 100));
+  // Coarser coverage grid in smoke mode: same code path, fraction of cost.
+  const std::size_t cells = bench::smoke() ? 10 : 25;
 
   std::cout << "Deployment coverage: minimum detectable source strength (uCi) for a\n"
             << "10-step observation budget, detection log-LR threshold 3.\n";
@@ -27,11 +31,14 @@ int main() {
       auto sensors = place_grid(env.bounds(), n, n);
       set_background(sensors, 5.0);
       CoverageConfig cfg;
-      cfg.cells_x = 25;
-      cfg.cells_y = 25;
+      cfg.cells_x = cells;
+      cfg.cells_y = cells;
       const auto map = compute_coverage(env, sensors, cfg);
       rows.push_back({static_cast<double>(n * n), map.worst_case(),
                       map.covered_fraction(4.0), map.covered_fraction(10.0)});
+      const std::string config = "grid" + std::to_string(n) + "x" + std::to_string(n);
+      json.add("coverage-100x100", config, "worst_uCi", map.worst_case());
+      json.add("coverage-100x100", config, "covered_frac_4uCi", map.covered_fraction(4.0));
     }
     print_banner(std::cout, "grid density sweep (area 100x100)");
     const std::vector<std::string> header{"sensors", "worst_uCi", "cov@4uCi", "cov@10uCi"};
@@ -44,12 +51,14 @@ int main() {
     set_background(sensors, 5.0);
     for (const std::size_t steps : {1u, 3u, 10u, 30u, 100u}) {
       CoverageConfig cfg;
-      cfg.cells_x = 25;
-      cfg.cells_y = 25;
+      cfg.cells_x = cells;
+      cfg.cells_y = cells;
       cfg.steps = steps;
       const auto map = compute_coverage(env, sensors, cfg);
       rows.push_back({static_cast<double>(steps), map.worst_case(),
                       map.covered_fraction(4.0), map.covered_fraction(10.0)});
+      json.add("coverage-100x100", "budget" + std::to_string(steps) + "steps", "worst_uCi",
+               map.worst_case());
     }
     print_banner(std::cout, "observation budget sweep (6x6 grid): patience buys sensitivity");
     const std::vector<std::string> header{"steps", "worst_uCi", "cov@4uCi", "cov@10uCi"};
@@ -61,8 +70,8 @@ int main() {
     // *localization* accuracy (Fig. 9) — two different quantities.
     const auto scenario = make_scenario_a(10.0, 5.0, /*with_obstacle=*/true);
     CoverageConfig cfg;
-    cfg.cells_x = 25;
-    cfg.cells_y = 25;
+    cfg.cells_x = cells;
+    cfg.cells_y = cells;
     const auto open = compute_coverage(scenario.env.without_obstacles(), scenario.sensors, cfg);
     const auto walled = compute_coverage(scenario.env, scenario.sensors, cfg);
     print_banner(std::cout, "Scenario A obstacle effect on detection coverage");
@@ -72,6 +81,8 @@ int main() {
     };
     const std::vector<std::string> header{"obstacles", "worst_uCi", "cov@4uCi"};
     print_table(std::cout, header, rows);
+    json.add("coverage-scenario-A", "open", "worst_uCi", open.worst_case());
+    json.add("coverage-scenario-A", "walled", "worst_uCi", walled.worst_case());
     std::cout << "\n(detection coverage can only get worse behind shielding; the paper's\n"
               << "Fig. 9 improvement concerns localization accuracy of detected sources)\n";
   }

@@ -16,13 +16,21 @@
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("distributed");
   const std::size_t trials = bench::trials(3);
+  const std::size_t num_steps = bench::steps(15);
+
+  // Scenario B is the heavyweight layout (196 sensors); smoke mode shrinks
+  // the global particle budget so the ctest smoke entry stays fast.
+  const std::size_t particles = bench::smoke() ? 2000 : 15000;
 
   auto scenario = make_scenario_b(5.0, false);
   std::cout << "Regional distributed localization on Scenario B (196 sensors, 9\n"
-            << "sources), global particle budget 15000, " << trials << " trials.\n";
+            << "sources), global particle budget " << particles << ", " << trials
+            << " trials.\n";
 
   std::vector<std::vector<double>> rows;
   for (const std::size_t tiles : {1u, 2u, 4u}) {
@@ -32,13 +40,13 @@ int main() {
       RegionalConfig cfg;
       cfg.tiles_x = tiles;
       cfg.tiles_y = tiles;
-      cfg.localizer.filter.num_particles = 15000;
+      cfg.localizer.filter.num_particles = particles;
       cfg.num_threads = tiles * tiles;  // one worker per tile
       RegionalLocalizerGrid grid(scenario.env, scenario.sensors, cfg, 800 + trial);
       Rng noise(810 + trial);
 
       double seconds = 0.0;
-      for (int t = 0; t < 15; ++t) {
+      for (std::size_t t = 0; t < num_steps; ++t) {
         const auto batch = sim.sample_time_step(noise);
         const auto t0 = std::chrono::steady_clock::now();
         grid.process_time_step(batch);
@@ -52,10 +60,14 @@ int main() {
       err.add(match.mean_error());
       fn.add(static_cast<double>(match.false_negatives));
       fp.add(static_cast<double>(match.false_positives));
-      ms_per_step.add(1e3 * seconds / 15.0);
+      ms_per_step.add(1e3 * seconds / static_cast<double>(num_steps));
     }
     rows.push_back({static_cast<double>(tiles * tiles), err.mean(), fn.mean(), fp.mean(),
                     ms_per_step.mean()});
+    const std::string config = std::to_string(tiles) + "x" + std::to_string(tiles);
+    json.add("scenario-B", config, "mean_error", err.mean());
+    json.add("scenario-B", config, "fp", fp.mean());
+    json.add("scenario-B", config, "ms_per_step", ms_per_step.mean());
   }
 
   print_banner(std::cout, "tiling sweep: accuracy parity + per-step wall time");

@@ -21,8 +21,10 @@
 #include "radloc/sensornet/placement.hpp"
 #include "radloc/sensornet/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig2_fusion_ablation");
   // Fig. 2's layout: sources A (upper-left region) and B (lower-right).
   Environment env(make_area(100, 100));
   auto sensors = place_grid(env.bounds(), 6, 6);
@@ -84,5 +86,10 @@ int main() {
             << ", max " << swing.max() << " (swing " << swing.max() - swing.min() << ")\n"
             << "A centroid cannot represent both sources: it oscillates/settles between\n"
             << "them, while the fusion-range filter holds mass at BOTH sources.\n";
+
+  json.add("fig2-two-sources", "no-fusion-joint-pf", "centroid_swing",
+           swing.max() - swing.min());
+  json.add("fig2-two-sources", "fusion-range", "final_mass_near_A", rows.back()[3]);
+  json.add("fig2-two-sources", "fusion-range", "final_mass_near_B", rows.back()[4]);
   return 0;
 }

@@ -12,8 +12,10 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig3_two_sources");
   const std::size_t trials = bench::trials();
 
   std::cout << "Fig. 3 reproduction: two sources at (47,71), (81,42), background 5 CPM,\n"
@@ -24,17 +26,25 @@ int main() {
     const auto scenario = make_scenario_a(strength, 5.0, /*with_obstacle=*/false);
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = bench::steps(30);
     opts.seed = 1000 + static_cast<std::uint64_t>(strength);
+    opts.num_threads = bench::threads();
     const auto result = run_experiment(scenario, opts);
 
     print_banner(std::cout, "Fig. 3: " + std::to_string(static_cast<int>(strength)) +
                                 " uCi (loc. error per source, FP, FN vs time step)");
     const auto names = default_source_names(scenario.sources.size());
     print_time_series(std::cout, result, names);
-    std::cout << "late-window (steps 10-30) mean error: " << result.avg_error_all(10, 30)
-              << "  FP: " << result.avg_false_positives(10, 30)
-              << "  FN: " << result.avg_false_negatives(10, 30) << "\n";
+    const std::size_t from = opts.time_steps / 3;
+    const std::size_t to = opts.time_steps;
+    std::cout << "late-window (steps " << from << "-" << to
+              << ") mean error: " << result.avg_error_all(from, to)
+              << "  FP: " << result.avg_false_positives(from, to)
+              << "  FN: " << result.avg_false_negatives(from, to) << "\n";
+    const std::string config = std::to_string(static_cast<int>(strength)) + "uCi";
+    json.add("fig3-scenario-A", config, "late_error", result.avg_error_all(from, to));
+    json.add("fig3-scenario-A", config, "late_fp", result.avg_false_positives(from, to));
+    json.add("fig3-scenario-A", config, "late_fn", result.avg_false_negatives(from, to));
   }
   return 0;
 }

@@ -13,8 +13,10 @@
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig4_progression");
   const auto scenario = make_scenario_a(10.0, 5.0, false);
 
   MeasurementSimulator sim(scenario.env, scenario.sensors, scenario.sources);
@@ -70,6 +72,11 @@ int main() {
     }
     std::cout << "\n  particle density map (bottom-left is origin):\n";
     density_map();
+
+    const std::string config = "step" + std::to_string(step);
+    json.add("fig4-scenario-A", config, "mass_near_A", mass_near({47, 71}, 10.0));
+    json.add("fig4-scenario-A", config, "mass_near_B", mass_near({81, 42}, 10.0));
+    json.add("fig4-scenario-A", config, "num_estimates", static_cast<double>(estimates.size()));
   }
   return 0;
 }

@@ -10,8 +10,10 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig5_three_sources");
   const std::size_t trials = bench::trials();
 
   std::cout << "Fig. 5 reproduction: three sources at (87,89), (37,14), (55,51),\n"
@@ -21,8 +23,9 @@ int main() {
     const auto scenario = make_scenario_a3(strength, 5.0);
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = bench::steps(30);
     opts.seed = 5000 + static_cast<std::uint64_t>(strength);
+    opts.num_threads = bench::threads();
     const auto result = run_experiment(scenario, opts);
 
     print_banner(std::cout, "Fig. 5: " + std::to_string(static_cast<int>(strength)) +
@@ -42,8 +45,13 @@ int main() {
         break;
       }
     }
+    const std::size_t from = opts.time_steps / 3;
+    const std::size_t to = opts.time_steps;
     std::cout << "first step with all sources matched (>=50% of trials): " << converged
-              << "   late-window error: " << result.avg_error_all(10, 30) << "\n";
+              << "   late-window error: " << result.avg_error_all(from, to) << "\n";
+    const std::string config = std::to_string(static_cast<int>(strength)) + "uCi";
+    json.add("fig5-scenario-A3", config, "converged_step", static_cast<double>(converged));
+    json.add("fig5-scenario-A3", config, "late_error", result.avg_error_all(from, to));
   }
   return 0;
 }

@@ -10,8 +10,10 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig6_background");
   const std::size_t trials = bench::trials();
 
   std::cout << "Fig. 6 reproduction: two 10 uCi sources at (47,71), (81,42) under\n"
@@ -22,15 +24,24 @@ int main() {
     const auto scenario = make_scenario_a(10.0, bg, /*with_obstacle=*/false);
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = bench::steps(30);
     opts.seed = 6000 + static_cast<std::uint64_t>(bg);
+    opts.num_threads = bench::threads();
     const auto result = run_experiment(scenario, opts);
 
     print_banner(std::cout, "Fig. 6: background " + std::to_string(static_cast<int>(bg)) +
                                 " CPM (loc. error per source, FP, FN vs time step)");
     print_time_series(std::cout, result, default_source_names(scenario.sources.size()));
-    summary.push_back({bg, result.avg_error_all(0, 5), result.avg_error_all(10, 30),
-                       result.avg_false_positives(10, 30), result.avg_false_negatives(10, 30)});
+    const std::size_t from = opts.time_steps / 3;
+    const std::size_t to = opts.time_steps;
+    summary.push_back({bg, result.avg_error_all(0, 5), result.avg_error_all(from, to),
+                       result.avg_false_positives(from, to),
+                       result.avg_false_negatives(from, to)});
+    const std::string config = "bg" + std::to_string(static_cast<int>(bg)) + "cpm";
+    json.add("fig6-scenario-A", config, "early_error", result.avg_error_all(0, 5));
+    json.add("fig6-scenario-A", config, "late_error", result.avg_error_all(from, to));
+    json.add("fig6-scenario-A", config, "late_fp", result.avg_false_positives(from, to));
+    json.add("fig6-scenario-A", config, "late_fn", result.avg_false_negatives(from, to));
   }
 
   print_banner(std::cout, "Fig. 6 summary: background effect is confined to early steps");

@@ -12,8 +12,10 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig7_large_network");
   const std::size_t trials = bench::trials(3);
 
   std::cout << "Fig. 7 reproduction: scenarios B and C, with and without obstacles,\n"
@@ -35,8 +37,9 @@ int main() {
   for (const auto& [label, scenario] : configs) {
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = bench::steps(30);
     opts.seed = 7000 + idx;
+    opts.num_threads = bench::threads();
     const auto result = run_experiment(scenario, opts);
 
     print_banner(std::cout, std::string("Fig. 7: ") + label +
@@ -46,9 +49,15 @@ int main() {
     for (auto& row : firstfour.error) row.resize(4);
     print_time_series(std::cout, firstfour, default_source_names(4));
 
-    summary.push_back({static_cast<double>(idx), result.avg_error_all(10, 30),
-                       result.avg_false_positives(0, 5), result.avg_false_positives(10, 30),
-                       result.avg_false_negatives(0, 5), result.avg_false_negatives(10, 30)});
+    const std::size_t from = opts.time_steps / 3;
+    const std::size_t to = opts.time_steps;
+    summary.push_back({static_cast<double>(idx), result.avg_error_all(from, to),
+                       result.avg_false_positives(0, 5), result.avg_false_positives(from, to),
+                       result.avg_false_negatives(0, 5),
+                       result.avg_false_negatives(from, to)});
+    json.add("fig7", label, "late_error", result.avg_error_all(from, to));
+    json.add("fig7", label, "late_fp", result.avg_false_positives(from, to));
+    json.add("fig7", label, "late_fn", result.avg_false_negatives(from, to));
     ++idx;
   }
 

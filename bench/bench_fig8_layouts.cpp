@@ -6,6 +6,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "radloc/eval/scenarios.hpp"
 
 namespace {
@@ -63,11 +64,18 @@ void describe(const Scenario& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig8_layouts");
   std::cout << "Fig. 8 reproduction: scenario layouts.\n";
-  describe(make_scenario_a(10.0, 5.0, /*with_obstacle=*/true));
-  describe(make_scenario_b());
-  describe(make_scenario_c());
+  for (const Scenario& s : {make_scenario_a(10.0, 5.0, /*with_obstacle=*/true),
+                            make_scenario_b(), make_scenario_c()}) {
+    describe(s);
+    json.add("scenario-" + s.name, "layout", "sensors", static_cast<double>(s.sensors.size()));
+    json.add("scenario-" + s.name, "layout", "sources", static_cast<double>(s.sources.size()));
+    json.add("scenario-" + s.name, "layout", "obstacles",
+             static_cast<double>(s.env.obstacles().size()));
+  }
   return 0;
 }

@@ -14,9 +14,13 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("fig9_obstacle_gain");
   const std::size_t trials = bench::trials();
+  const std::size_t steps = bench::steps(30);
+  const std::size_t from = steps > 5 ? 5 : steps / 2;
 
   std::cout << "Fig. 9 reproduction: normalized loc. error (no-obstacle / obstacle).\n"
             << "Values > 1 mean obstacles improve accuracy. " << trials << " trials.\n";
@@ -25,23 +29,26 @@ int main() {
   {
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = steps;
     opts.seed = 9000;
+    opts.num_threads = bench::threads();
     const auto open = run_experiment(make_scenario_a(10.0, 5.0, false), opts);
     const auto walled = run_experiment(make_scenario_a(10.0, 5.0, true), opts);
 
     print_banner(std::cout, "Fig. 9(a): Scenario A normalized error per time step");
     std::vector<std::vector<double>> rows;
-    for (std::size_t t = 0; t < 30; ++t) {
+    for (std::size_t t = 0; t < open.error.size(); ++t) {
       rows.push_back({static_cast<double>(t), open.error[t][0] / walled.error[t][0],
                       open.error[t][1] / walled.error[t][1]});
     }
     const std::vector<std::string> header{"step", "Source1", "Source2"};
     print_table(std::cout, header, rows);
     for (std::size_t j = 0; j < 2; ++j) {
-      const double gain = open.avg_error(j, 5, 30) / walled.avg_error(j, 5, 30);
-      std::cout << "source " << j + 1 << " avg normalized error (steps 5-29): " << gain
+      const double gain = open.avg_error(j, from, steps) / walled.avg_error(j, from, steps);
+      std::cout << "source " << j + 1 << " avg normalized error (steps " << from << "-"
+                << steps - 1 << "): " << gain
                 << (gain > 1.0 ? "  (obstacle helps)" : "  (obstacle hurts)") << "\n";
+      json.add("fig9a-scenario-A", "source" + std::to_string(j + 1), "normalized_error", gain);
     }
   }
 
@@ -50,13 +57,14 @@ int main() {
                         std::uint64_t seed) {
     ExperimentOptions opts;
     opts.trials = trials;
-    opts.time_steps = 30;
+    opts.time_steps = steps;
     opts.seed = seed;
+    opts.num_threads = bench::threads();
     const auto open = run_experiment(open_s, opts);
     const auto walled = run_experiment(walled_s, opts);
     std::vector<double> ratios;
     for (std::size_t j = 0; j < open_s.sources.size(); ++j) {
-      ratios.push_back(open.avg_error(j, 5, 30) / walled.avg_error(j, 5, 30));
+      ratios.push_back(open.avg_error(j, from, steps) / walled.avg_error(j, from, steps));
     }
     return ratios;
   };
@@ -69,6 +77,8 @@ int main() {
   std::vector<std::vector<double>> rows;
   for (std::size_t j = 0; j < b.size(); ++j) {
     rows.push_back({static_cast<double>(j + 1), b[j], c[j]});
+    json.add("fig9b-scenario-B", "source" + std::to_string(j + 1), "normalized_error", b[j]);
+    json.add("fig9c-scenario-C", "source" + std::to_string(j + 1), "normalized_error", c[j]);
   }
   const std::vector<std::string> header{"source", "ScenarioB", "ScenarioC"};
   print_table(std::cout, header, rows);

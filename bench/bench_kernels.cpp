@@ -39,13 +39,14 @@ Row run(const Scenario& scenario, const MeanShiftConfig& ms, std::size_t trials)
     cfg.meanshift = ms;
     MultiSourceLocalizer loc(scenario.env, scenario.sensors, cfg, 500 + trial);
     Rng noise(600 + trial);
-    for (int step = 0; step < 20; ++step) {
+    const int steps = static_cast<int>(bench::steps(20));
+    for (int step = 0; step < steps; ++step) {
       loc.process_all(sim.sample_time_step(noise));
       const auto t0 = std::chrono::steady_clock::now();
       const auto estimates = loc.estimate();
       est_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       ++est_calls;
-      if (step >= 14) {  // average the converged window, not one snapshot
+      if (step >= steps - 6) {  // average the converged window, not one snapshot
         const auto match = match_estimates(scenario.sources, estimates);
         err.add(match.mean_error());
         fp.add(static_cast<double>(match.false_positives));
@@ -58,8 +59,10 @@ Row run(const Scenario& scenario, const MeanShiftConfig& ms, std::size_t trials)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("kernels");
   const std::size_t trials = bench::trials(3);
   const auto scenario = make_scenario_a3(10.0, 5.0);
 
@@ -72,6 +75,9 @@ int main() {
       ms.kernel = kernel;
       const Row r = run(scenario, ms, trials);
       rows.push_back({kernel == KernelType::kGaussian ? 0.0 : 1.0, r.err, r.fp, r.fn, r.est_ms});
+      const char* name = kernel == KernelType::kGaussian ? "gaussian" : "epanechnikov";
+      json.add("kernels-scenario-A3", name, "error", r.err);
+      json.add("kernels-scenario-A3", name, "estimate_ms", r.est_ms);
     }
     print_banner(std::cout, "kernel profile (0 = Gaussian [paper, Eq. 6], 1 = Epanechnikov)");
     const std::vector<std::string> header{"kernel", "err", "FP", "FN", "estimate_ms"};
@@ -84,6 +90,7 @@ int main() {
       ms.bandwidth_xy = h;
       const Row r = run(scenario, ms, trials);
       rows.push_back({h, r.err, r.fp, r.fn, r.est_ms});
+      json.add("kernels-scenario-A3", "bandwidth_xy=" + std::to_string(h), "error", r.err);
     }
     print_banner(std::cout, "spatial bandwidth h (library default 5)");
     const std::vector<std::string> header{"bandwidth", "err", "FP", "FN", "estimate_ms"};
@@ -96,6 +103,8 @@ int main() {
       ms.bandwidth_log_strength = hs;
       const Row r = run(scenario, ms, trials);
       rows.push_back({hs, r.err, r.fp, r.fn, r.est_ms});
+      json.add("kernels-scenario-A3", "bandwidth_log_strength=" + std::to_string(hs), "error",
+               r.err);
     }
     print_banner(std::cout, "log-strength bandwidth (library default 0.75)");
     const std::vector<std::string> header{"bandwidth", "err", "FP", "FN", "estimate_ms"};

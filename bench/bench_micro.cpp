@@ -5,6 +5,12 @@
 // regressions there.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "radloc/common/math.hpp"
 #include "radloc/filter/particle_filter.hpp"
 #include "radloc/geom/grid_index.hpp"
@@ -92,6 +98,47 @@ void BM_FilterIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterIteration)->Arg(2000)->Arg(15000)->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that records per-iteration real time so the main can
+/// emit the stable-schema BENCH_micro.json after the run.
+class TimeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.iterations > 0) {
+        seconds[run.benchmark_name()] =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, double> seconds;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      radloc::bench::detail::smoke_flag() = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time_flag = "--benchmark_min_time=0.01";
+  if (radloc::bench::smoke()) args.push_back(min_time_flag.data());
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  TimeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  radloc::bench::JsonWriter json("micro");
+  for (const auto& [name, secs] : reporter.seconds) {
+    json.add("kernels", name, "seconds_per_op", secs);
+  }
+  json.write();
+  return 0;
+}

@@ -30,6 +30,7 @@ struct Row {
 
 Row run(const Scenario& scenario, NetworkTopology* topo, double per_hop_loss,
         std::size_t slots, bool kill_relays, std::size_t trials) {
+  const std::size_t steps = bench::steps(25);
   RunningStats err;
   RunningStats fp;
   RunningStats fn;
@@ -44,8 +45,8 @@ Row run(const Scenario& scenario, NetworkTopology* topo, double per_hop_loss,
     Rng noise(200 + trial);
     Rng net(300 + trial);
 
-    for (int step = 0; step < 25; ++step) {
-      if (kill_relays && step == 10) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      if (kill_relays && step == steps / 2) {
         // Two central relays die mid-run.
         local_topo.kill(14);
         local_topo.kill(21);
@@ -67,8 +68,10 @@ Row run(const Scenario& scenario, NetworkTopology* topo, double per_hop_loss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("multihop");
   const std::size_t trials = bench::trials(3);
 
   auto scenario = make_scenario_a(20.0, 5.0, false);
@@ -101,6 +104,10 @@ int main() {
     const Row r = run(scenario, &topo, c.loss, c.slots, c.kill, trials);
     std::cout << "  [" << idx << "] " << c.label << "\n";
     rows.push_back({static_cast<double>(idx++), r.err, r.fp, r.fn, r.delivered_frac});
+    json.add("multihop-scenario-A", c.label, "mean_error", r.err);
+    json.add("multihop-scenario-A", c.label, "fp", r.fp);
+    json.add("multihop-scenario-A", c.label, "fn", r.fn);
+    json.add("multihop-scenario-A", c.label, "delivered_frac", r.delivered_frac);
   }
 
   const std::vector<std::string> header{"config", "mean_err", "FP", "FN", "delivered"};

@@ -38,8 +38,10 @@ class SimOracle final : public MeasurementOracle {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("robot_search");
   const std::size_t trials = bench::trials(5);
 
   Environment env(make_area(100, 100));
@@ -49,7 +51,11 @@ int main() {
             << "one 50 uCi source, " << trials << " trials.\n";
 
   std::vector<std::vector<double>> rows;
-  for (const std::size_t budget : {72u, 144u, 288u}) {
+  // Smoke mode trims the reading budgets, not just trial count: the robot
+  // path loop is the dominant cost here.
+  const std::vector<std::size_t> budgets =
+      bench::smoke() ? std::vector<std::size_t>{36u} : std::vector<std::size_t>{72u, 144u, 288u};
+  for (const std::size_t budget : budgets) {
     RunningStats robot_err, robot_conv, robot_dist, net_err;
     for (std::size_t trial = 0; trial < trials; ++trial) {
       // Robot: `budget` readings along a self-chosen path.
@@ -84,6 +90,10 @@ int main() {
     }
     rows.push_back({static_cast<double>(budget), robot_err.mean(), robot_conv.mean(),
                     robot_dist.mean(), net_err.mean()});
+    const std::string config = "budget" + std::to_string(budget);
+    json.add("single-source-50uCi", config, "robot_error", robot_err.mean());
+    json.add("single-source-50uCi", config, "robot_conv_rate", robot_conv.mean());
+    json.add("single-source-50uCi", config, "grid_error", net_err.mean());
   }
 
   print_banner(std::cout, "error / robot convergence rate / distance vs static-network error");

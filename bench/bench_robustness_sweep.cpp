@@ -16,12 +16,16 @@
 #include "radloc/eval/stats.hpp"
 #include "radloc/sensornet/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
-  const std::size_t worlds = bench::env_size("RADLOC_WORLDS", 20);
+  bench::init(argc, argv);
+  bench::JsonWriter json("robustness_sweep");
+  const std::size_t worlds = bench::worlds(20);
+  const std::size_t num_steps = bench::steps(15);
 
   std::cout << "Robustness sweep: " << worlds << " random worlds per row (random source\n"
-            << "positions, log-uniform 10-100 uCi strengths, random walls), 15 steps.\n";
+            << "positions, log-uniform 10-100 uCi strengths, random walls), " << num_steps
+            << " steps.\n";
 
   std::vector<std::vector<double>> rows;
   Rng master(0xD1CE);
@@ -41,7 +45,7 @@ int main() {
       MultiSourceLocalizer loc(scenario.env, scenario.sensors, LocalizerConfig{},
                                master());
       Rng noise = master.split();
-      for (int t = 0; t < 15; ++t) loc.process_all(sim.sample_time_step(noise));
+      for (std::size_t t = 0; t < num_steps; ++t) loc.process_all(sim.sample_time_step(noise));
 
       const auto match = match_estimates(scenario.sources, loc.estimate());
       if (match.false_negatives == 0 && match.false_positives == 0) ++perfect;
@@ -57,6 +61,11 @@ int main() {
     rows.push_back({static_cast<double>(k), err_ci.point, err_ci.lo, err_ci.hi, fn_ci.point,
                     bootstrap_mean_ci(fp_counts, boot).point,
                     static_cast<double>(perfect) / static_cast<double>(worlds)});
+    const std::string config = "K" + std::to_string(k);
+    json.add("random-worlds", config, "mean_error", err_ci.point);
+    json.add("random-worlds", config, "fn_mean", fn_ci.point);
+    json.add("random-worlds", config, "perfect_frac",
+             static_cast<double>(perfect) / static_cast<double>(worlds));
   }
 
   print_banner(std::cout, "outcomes by true source count (mean error with 95% bootstrap CI)");

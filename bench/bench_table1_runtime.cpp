@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "radloc/core/localizer.hpp"
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/simulator.hpp"
@@ -108,16 +109,33 @@ BENCHMARK(BM_Iteration)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_table1.json";
+  // --smoke is ours, everything else goes to google-benchmark. Smoke keeps
+  // only the NP=2000 rows and shortens the measured time — the full matrix
+  // (NP=15000 on the 196-sensor layout, with 3 warm-up steps per entry)
+  // takes minutes.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      radloc::bench::detail::smoke_flag() = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_table1.gbench.json";
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string min_time_flag = "--benchmark_min_time=0.01";
+  std::string filter_flag = "--benchmark_filter=particles:2000";
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strncmp(args[i], "--benchmark_out=", 16) == 0) has_out = true;
   }
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
+  }
+  if (radloc::bench::smoke()) {
+    args.push_back(min_time_flag.data());
+    args.push_back(filter_flag.data());
   }
   int argc2 = static_cast<int>(args.size());
   benchmark::Initialize(&argc2, args.data());
@@ -126,5 +144,16 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   print_speedups(reporter.seconds);
   benchmark::Shutdown();
+
+  radloc::bench::JsonWriter json("table1");
+  for (const auto& [name, secs] : reporter.seconds) {
+    std::size_t threads = 1;
+    if (const auto pos = name.find("threads:"); pos != std::string::npos) {
+      threads = static_cast<std::size_t>(std::strtoul(name.c_str() + pos + 8, nullptr, 10));
+    }
+    const bool large = name.find("largeN:1") != std::string::npos;
+    json.add(large ? "scenario-B" : "scenario-A", name, "sec_per_iteration", secs, threads);
+  }
+  json.write();
   return 0;
 }

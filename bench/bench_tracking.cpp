@@ -4,6 +4,7 @@
 // random-walk movement model matched (or mismatched) to the motion.
 // Reported: mean tracking error after warm-up and the fraction of steps
 // the source was tracked (estimate within the 40-unit gate).
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -40,7 +41,7 @@ Outcome run(double speed_per_step, double model_sigma, std::size_t trials) {
     }
     Rng noise(850 + trial);
 
-    constexpr int steps = 25;
+    const int steps = static_cast<int>(bench::steps(25));
     for (int t = 0; t < steps; ++t) {
       // Diagonal transit scaled to the requested speed.
       const double progress = speed_per_step * t;
@@ -48,7 +49,7 @@ Outcome run(double speed_per_step, double model_sigma, std::size_t trials) {
       if (!env.bounds().contains(truth.pos)) break;
       MeasurementSimulator sim(env, sensors, {truth});
       loc.process_all(sim.sample_time_step(noise));
-      if (t < 6) continue;  // warm-up
+      if (t < std::min(6, steps / 2)) continue;  // warm-up
 
       double best = std::nan("");
       for (const auto& e : loc.estimate()) {
@@ -68,8 +69,10 @@ Outcome run(double speed_per_step, double model_sigma, std::size_t trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("tracking");
   const std::size_t trials = bench::trials(3);
 
   std::cout << "Moving-source tracking: a 60 uCi source transits diagonally; the\n"
@@ -83,6 +86,12 @@ int main() {
     const Outcome walk_model = run(speed, std::max(0.3, speed / 4.0), trials);
     rows.push_back({speed, static_model.mean_err, static_model.tracked_frac,
                     walk_model.mean_err, walk_model.tracked_frac});
+    std::ostringstream config;
+    config << "speed" << speed;
+    json.add("moving-source-60uCi", config.str(), "static_tracked_frac",
+             static_model.tracked_frac);
+    json.add("moving-source-60uCi", config.str(), "walk_tracked_frac", walk_model.tracked_frac);
+    json.add("moving-source-60uCi", config.str(), "walk_error", walk_model.mean_err);
   }
 
   print_banner(std::cout, "error / tracked fraction: static model vs random-walk model");

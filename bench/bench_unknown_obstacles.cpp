@@ -43,9 +43,12 @@ Environment shielded_world() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace radloc;
+  bench::init(argc, argv);
+  bench::JsonWriter json("unknown_obstacles");
   const std::size_t trials = bench::trials(3);
+  const std::size_t num_steps = bench::steps(15);
 
   Environment env = shielded_world();
   auto sensors = place_grid(env.bounds(), 6, 6);
@@ -55,7 +58,8 @@ int main() {
       {{25.0, 75.0}, 40.0}, {{78.0, 72.0}, 60.0}, {{22.0, 25.0}, 50.0}, {{75.0, 28.0}, 30.0}};
 
   std::cout << "Unknown-obstacle robustness: 4 sources in a heavily shielded world\n"
-            << "(concrete cross, mu=0.13), " << trials << " trials x 15 steps.\n"
+            << "(concrete cross, mu=0.13), " << trials << " trials x " << num_steps
+            << " steps.\n"
             << "Each method runs obstacle-BLIND (free-space model) and obstacle-AWARE.\n";
 
   RunningStats ours_blind_err, ours_aware_err, mle_blind_err, mle_aware_err;
@@ -66,7 +70,7 @@ int main() {
     Rng noise(900 + trial);
     std::vector<std::vector<Measurement>> steps;
     std::vector<Measurement> all;
-    for (int t = 0; t < 15; ++t) {
+    for (std::size_t t = 0; t < num_steps; ++t) {
       steps.push_back(sim.sample_time_step(noise));
       all.insert(all.end(), steps.back().begin(), steps.back().end());
     }
@@ -108,6 +112,20 @@ int main() {
       {3.0, mle_aware_err.mean(), mle_aware_fn.mean()},
   };
   print_table(std::cout, header, rows);
+  const struct {
+    const char* config;
+    const RunningStats* err;
+    const RunningStats* fn;
+  } json_rows[] = {
+      {"ours-blind", &ours_blind_err, &ours_blind_fn},
+      {"ours-aware", &ours_aware_err, &ours_aware_fn},
+      {"mle-blind", &mle_blind_err, &mle_blind_fn},
+      {"mle-aware", &mle_aware_err, &mle_aware_fn},
+  };
+  for (const auto& r : json_rows) {
+    json.add("shielded-world-4src", r.config, "mean_error", r.err->mean());
+    json.add("shielded-world-4src", r.config, "fn", r.fn->mean());
+  }
   std::cout << "rows: 0 = proposed, obstacle-blind   1 = proposed, obstacle-aware\n"
             << "      2 = MLE+BIC,  obstacle-blind   3 = MLE+BIC,  obstacle-aware\n\n"
             << "Expected shape: rows 0 and 1 close (the proposed method does not need\n"

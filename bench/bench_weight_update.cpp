@@ -9,9 +9,11 @@
 // range subset against one measurement. Selection/resampling costs are
 // excluded here (bench_table1_runtime measures the end-to-end iteration).
 //
-// Always writes google-benchmark JSON to BENCH_weight_update.json (override
-// with --benchmark_out=...) and prints a speedup summary so CI has a
-// machine-readable perf trajectory.
+// Writes the stable-schema BENCH_weight_update.json (bench_util JsonWriter)
+// plus the raw google-benchmark dump BENCH_weight_update.gbench.json
+// (override with --benchmark_out=...), and prints a speedup summary so CI
+// has a machine-readable perf trajectory. `--smoke` shortens the measured
+// time per benchmark for the benchsmoke ctest entry.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -23,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "radloc/common/math.hpp"
 #include "radloc/concurrency/thread_pool.hpp"
 #include "radloc/eval/scenarios.hpp"
@@ -264,17 +267,27 @@ BENCHMARK(BM_WeightUpdate)
     ->Args({1, 4, 1});
 
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_weight_update.json";
+  // --smoke is ours, everything else goes to google-benchmark.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      radloc::bench::detail::smoke_flag() = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_weight_update.gbench.json";
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string min_time_flag = "--benchmark_min_time=0.01";
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strncmp(args[i], "--benchmark_out=", 16) == 0) has_out = true;
   }
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  if (radloc::bench::smoke()) args.push_back(min_time_flag.data());
   int argc2 = static_cast<int>(args.size());
   benchmark::Initialize(&argc2, args.data());
   if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
@@ -282,5 +295,15 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   print_speedups(reporter.rates);
   benchmark::Shutdown();
+
+  radloc::bench::JsonWriter json("weight_update");
+  for (const auto& [name, rate] : reporter.rates) {
+    std::size_t threads = 1;
+    if (const auto pos = name.find("threads:"); pos != std::string::npos) {
+      threads = static_cast<std::size_t>(std::strtoul(name.c_str() + pos + 8, nullptr, 10));
+    }
+    json.add("weight-update-scenario-A", name, "particles_per_sec", rate, threads);
+  }
+  json.write();
   return 0;
 }

@@ -14,7 +14,17 @@ inline constexpr double kPi = 3.14159265358979323846;
 [[nodiscard]] constexpr double square(double v) { return v * v; }
 
 /// log(n!) via lgamma. Stable for the large CPM counts Eq. (4) produces.
-[[nodiscard]] inline double log_factorial(double n) { return std::lgamma(n + 1.0); }
+/// Uses the reentrant lgamma_r where available: glibc's lgamma() writes the
+/// global `signgam`, which is a (benign but TSan-reported) data race when
+/// parallel trials score weights concurrently.
+[[nodiscard]] inline double log_factorial(double n) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(n + 1.0, &sign);
+#else
+  return std::lgamma(n + 1.0);
+#endif
+}
 
 /// Log-PMF of a Poisson(lambda) distribution at integer count k (k passed as
 /// double because CPM counts can be large). Returns -inf for lambda <= 0 with

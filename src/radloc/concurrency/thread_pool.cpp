@@ -1,8 +1,33 @@
 #include "radloc/concurrency/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace radloc {
+
+namespace {
+// The pool whose work the current thread is executing right now, if any.
+// Set around every job body (worker loop, caller-owned chunks, stolen jobs)
+// and checked by parallel_for to run nested calls inline. Per-thread, so no
+// synchronization; a plain pointer, so pools can nest across distinct pool
+// objects without confusion.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+// RAII marker so every execution path (including early returns) restores the
+// previous pool — a task may itself wait on a group and steal foreign jobs.
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const ThreadPool* pool) : prev_(tls_active_pool) {
+    tls_active_pool = pool;
+  }
+  ActivePoolScope(const ActivePoolScope&) = delete;
+  ActivePoolScope& operator=(const ActivePoolScope&) = delete;
+  ~ActivePoolScope() { tls_active_pool = prev_; }
+
+ private:
+  const ThreadPool* prev_;
+};
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::size_t max_fanout) {
   if (max_fanout > 0) {
@@ -23,32 +48,94 @@ ThreadPool::~ThreadPool() {
     const std::lock_guard lock(mu_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_pool_work() const { return tls_active_pool == this; }
+
+void ThreadPool::execute(Job& job) {
+  {
+    const ActivePoolScope scope(this);
+    if (job.chunk != nullptr) {
+      (*job.chunk)(job.begin, job.end);
+    } else {
+      job.owned();
+    }
+  }
+  bool done = false;
+  {
+    const std::lock_guard lock(mu_);
+    done = (--job.sync->remaining == 0);
+  }
+  // Outside the lock: the waiter re-checks its predicate under the mutex, so
+  // notifying unlocked is safe and avoids a pointless wake-then-block.
+  if (done) cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    Task task;
+    Job job;
     {
       std::unique_lock lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (stopping_ && pending_.empty()) return;
-      task = pending_.back();
-      pending_.pop_back();
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
     }
-    (*task.body)(task.begin, task.end);
-    {
-      const std::lock_guard lock(mu_);
-      --outstanding_;
-      if (outstanding_ == 0) work_done_.notify_all();
-    }
+    execute(job);
   }
+}
+
+void ThreadPool::wait_for(Sync& sync) {
+  std::unique_lock lock(mu_);
+  while (sync.remaining > 0) {
+    if (!queue_.empty()) {
+      // Steal: run any queued job (ours or another wave's) instead of
+      // idling. This is what makes waiting inside pool work deadlock-free —
+      // the jobs a waiter depends on are either queued (it runs them) or
+      // already running on some thread (it blocks until they retire).
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      execute(job);
+      lock.lock();
+      continue;
+    }
+    cv_.wait(lock, [this, &sync] { return sync.remaining == 0 || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+  ThreadPool& pool = *pool_;
+  if (pool.workers_.empty()) {
+    // No workers: execute inline immediately — the serial baseline. The
+    // nesting marker still applies so inner parallel_for calls stay inline.
+    const ActivePoolScope scope(&pool);
+    fn();
+    return;
+  }
+  {
+    const std::lock_guard lock(pool.mu_);
+    Job job;
+    job.owned = std::move(fn);
+    job.sync = &sync_;
+    ++sync_.remaining;
+    pool.queue_.push_back(std::move(job));
+  }
+  pool.cv_.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
   if (n == 0) return;
+  // Nesting / oversubscription guard: inside pool work, run the whole range
+  // inline. Outer tasks already occupy the threads; fanning out here would
+  // only queue-shuffle the same cores, and blocking for it could deadlock.
+  if (in_pool_work()) {
+    chunk_fn(0, n);
+    return;
+  }
   // Never fan out wider than the host's cores: on a machine that exposes
   // fewer CPUs than the pool has threads, extra chunks only buy context
   // switches. Results don't depend on the fan-out — chunks cover disjoint
@@ -64,35 +151,34 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t rem = n % chunks;
 
   // Keep the first chunk for the calling thread; queue the rest.
+  Sync sync;
   std::size_t begin = base + (rem > 0 ? 1 : 0);
   const std::size_t own_end = begin;
   {
     const std::lock_guard lock(mu_);
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t len = base + (c < rem ? 1 : 0);
-      pending_.push_back(Task{&chunk_fn, begin, begin + len});
+      Job job;
+      job.chunk = &chunk_fn;
+      job.begin = begin;
+      job.end = begin + len;
+      job.sync = &sync;
+      ++sync.remaining;
+      queue_.push_back(std::move(job));
       begin += len;
-      ++outstanding_;
     }
   }
-  work_ready_.notify_all();
+  cv_.notify_all();
 
-  chunk_fn(0, own_end);
+  {
+    const ActivePoolScope scope(this);
+    chunk_fn(0, own_end);
+  }
 
   // Help drain the queue instead of idling: when workers are slow to wake
   // (or the host exposes fewer cores than the pool has threads) the caller
-  // executes the remaining chunks itself. Which thread runs a chunk never
-  // affects results — chunks touch disjoint index ranges.
-  std::unique_lock lock(mu_);
-  while (!pending_.empty()) {
-    const Task task = pending_.back();
-    pending_.pop_back();
-    lock.unlock();
-    (*task.body)(task.begin, task.end);
-    lock.lock();
-    --outstanding_;
-  }
-  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  // executes the remaining chunks itself.
+  wait_for(sync);
 }
 
 }  // namespace radloc

@@ -1,12 +1,28 @@
-// Fixed-size thread pool with a chunked parallel_for.
+// Fixed-size thread pool with a chunked parallel_for and a task group.
 //
 // The paper's Table I shows the algorithm's concurrency (mostly mean-shift
 // seeds) scaling to 24 cores. radloc funnels all parallelism through this
 // pool so thread count is an explicit experiment parameter.
+//
+// Two levels of parallelism share one pool (DESIGN.md §5.6):
+//
+//   outer  TaskGroup::run       trial-grained tasks (run_experiment)
+//   inner  parallel_for         weight-update / mean-shift chunks
+//
+// Nesting policy: a parallel_for issued from a thread that is already
+// executing pool work (a worker running a task, or a caller running its own
+// chunk) runs inline on that thread instead of fanning out. This is both the
+// deadlock guard — pool threads never block waiting on pool threads — and
+// the oversubscription guard: N outer trials never explode into N x M inner
+// chunks. Threads that do wait (TaskGroup::wait, parallel_for's caller)
+// steal queued work instead of idling, so a waiter can never deadlock the
+// pool either. Which thread runs a chunk never affects results — chunks
+// cover disjoint index ranges and reductions stay serial in index order.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,7 +51,8 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n); blocks until all iterations finish. The
   /// range is split into contiguous chunks, one per thread (iterations
   /// should be of comparable cost — true for mean-shift seeds and particle
-  /// weighting). fn must not throw.
+  /// weighting). Called from inside pool work it runs inline on the calling
+  /// thread (see the nesting policy above). fn must not throw.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& chunk_fn);
 
   /// Element-wise convenience over the chunked form.
@@ -46,22 +63,71 @@ class ThreadPool {
     });
   }
 
+  /// True when the calling thread is currently executing work scheduled on
+  /// THIS pool (a worker running a job, or a caller running its own chunk /
+  /// a stolen job). parallel_for uses this to detect nesting.
+  [[nodiscard]] bool in_pool_work() const;
+
  private:
-  struct Task {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-    std::size_t begin = 0;
-    std::size_t end = 0;
+  /// Completion state for one wave of jobs (one parallel_for call or one
+  /// TaskGroup). Guarded by the owning pool's mutex; waiters block on the
+  /// pool-wide condition variable.
+  struct Sync {
+    std::size_t remaining = 0;
   };
 
+  /// A queued unit of work: either an owned closure (TaskGroup submission)
+  /// or a borrowed chunk function + index range (parallel_for, whose caller
+  /// outlives the wave by construction).
+  struct Job {
+    std::function<void()> owned;
+    const std::function<void(std::size_t, std::size_t)>* chunk = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    Sync* sync = nullptr;
+  };
+
+ public:
+  /// Non-blocking task submission: run() enqueues a task on the pool and
+  /// returns immediately; wait() (and the destructor) blocks until every
+  /// submitted task finished — stealing queued pool work while it waits, so
+  /// a group waiting inside pool work can never stall the pool. On a pool
+  /// with no workers (num_threads <= 1) run() executes the task inline on
+  /// the caller, preserving the serial baseline. Tasks must not throw.
+  ///
+  /// A TaskGroup is owned by one submitting thread: run()/wait() are not
+  /// themselves thread-safe (the tasks, of course, run concurrently).
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    ~TaskGroup() { wait(); }
+
+    void run(std::function<void()> fn);
+    void wait() { pool_->wait_for(sync_); }
+
+   private:
+    ThreadPool* pool_;
+    Sync sync_;
+  };
+
+ private:
   void worker_loop();
+  /// Runs the job with the nesting marker set, then retires it on its Sync.
+  void execute(Job& job);
+  /// Blocks until sync.remaining == 0, executing queued jobs while any are
+  /// available (work-stealing wait).
+  void wait_for(Sync& sync);
 
   std::vector<std::thread> workers_;
   std::size_t hw_threads_ = 1;  ///< host core count; caps parallel_for fan-out
   std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::vector<Task> pending_;
-  std::size_t outstanding_ = 0;
+  /// One condition variable for every event: job enqueued, a Sync reaching
+  /// zero, shutdown. Waiters re-check their own predicate; the queue only
+  /// transitions empty -> non-empty under notify_all, so no wakeup is lost.
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
 };
 

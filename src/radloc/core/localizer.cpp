@@ -11,18 +11,21 @@
 namespace radloc {
 
 MultiSourceLocalizer::MultiSourceLocalizer(const Environment& env, std::vector<Sensor> sensors,
-                                           LocalizerConfig cfg, std::uint64_t seed)
+                                           LocalizerConfig cfg, std::uint64_t seed,
+                                           ThreadPool* shared_pool)
     : cfg_(cfg),
-      pool_(cfg.num_threads),
+      // With a borrowed pool the internal one stays empty (1 = inline, no
+      // worker threads) — it exists only so estimator_ always has a pool.
+      pool_(shared_pool != nullptr ? 1 : cfg.num_threads),
       filter_(env, std::move(sensors), cfg.filter, Rng(seed)),
-      estimator_(env.bounds(), cfg.meanshift, pool_),
+      estimator_(env.bounds(), cfg.meanshift, shared_pool != nullptr ? *shared_pool : pool_),
       recent_readings_(filter_.sensors().size()),
       recent_head_(filter_.sensors().size(), 0),
       recent_size_(filter_.sensors().size(), 0) {
   require(cfg_.history_window >= 1, "history window must hold at least one reading");
   // The weight update shares the mean-shift pool: one pool, one thread-count
   // knob (Table I's scaling parameter) for the whole measurement hot path.
-  filter_.set_thread_pool(&pool_);
+  filter_.set_thread_pool(shared_pool != nullptr ? shared_pool : &pool_);
   for (auto& buf : recent_readings_) buf.assign(cfg_.history_window, 0.0);
 }
 

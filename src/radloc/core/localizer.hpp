@@ -57,8 +57,15 @@ class MultiSourceLocalizer {
   /// cfg.filter.use_known_obstacles is set, obstacles the localizer may
   /// exploit); it must outlive the localizer. `sensors` are the known sensor
   /// deployments; `seed` fixes all of the localizer's randomness.
+  ///
+  /// `shared_pool`, when non-null, is an externally owned pool (it must
+  /// outlive the localizer) that the filter and mean-shift stages use
+  /// instead of an internal one — this is how trial-level outer parallelism
+  /// (run_experiment) and the inner weight-update/mean-shift parallelism
+  /// share one pool without oversubscription; cfg.num_threads is ignored in
+  /// that case (the pool's thread count rules). See DESIGN.md §5.6.
   MultiSourceLocalizer(const Environment& env, std::vector<Sensor> sensors, LocalizerConfig cfg,
-                       std::uint64_t seed);
+                       std::uint64_t seed, ThreadPool* shared_pool = nullptr);
 
   /// Feeds one measurement (one filter iteration, Sec. V-B/C/E). Malformed
   /// measurements throw std::invalid_argument naming the specific fault.

@@ -28,6 +28,21 @@ struct ExperimentOptions {
   /// the scenario's recommendation unless `use_scenario_defaults` is false.
   LocalizerConfig localizer;
   bool use_scenario_defaults = true;
+  /// Worker threads for TRIAL-level parallelism: independent trials run
+  /// concurrently on one shared pool (inner weight-update/mean-shift
+  /// parallelism from inside a trial runs inline — DESIGN.md §5.6). 1 (or
+  /// 0) keeps the seed's serial loop, in which case localizer.num_threads
+  /// still governs inner parallelism. Per-trial RNG streams are pre-split
+  /// serially and aggregation runs in trial-index order, so every
+  /// ExperimentResult field except the wall-clock seconds_per_iteration is
+  /// bit-identical at any thread count (pinned by test).
+  std::size_t num_threads = 1;
+  /// Share immutable per-scenario state across trials — the ground-truth
+  /// simulator (memoized Eq. 4 rates) and, when the filter uses the
+  /// transmission cache, one fully prepared read-only cache — instead of
+  /// rebuilding both per trial. Bit-identical either way; disable to
+  /// reproduce the seed's rebuild-per-trial cost (the benchmark baseline).
+  bool share_scenario_state = true;
 };
 
 struct ExperimentResult {

@@ -82,11 +82,16 @@ Scenario make_scenario_a(double source_strength, double background_cpm, bool wit
   return s;
 }
 
-Scenario make_scenario_a3(double source_strength, double background_cpm) {
+Scenario make_scenario_a3(double source_strength, double background_cpm, bool with_obstacle) {
   const AreaBounds area = make_area(100.0, 100.0);
+  std::vector<Obstacle> obstacles;
+  if (with_obstacle) {
+    // Scenario A's U-shaped central obstacle; S3 at (55,51) sits inside it.
+    obstacles.emplace_back(make_u_shape(38.0, 35.0, 62.0, 60.0, 2.0), kPaperMu);
+  }
   Scenario s{
       "A3",
-      Environment(area),
+      Environment(area, std::move(obstacles)),
       place_grid(area, 6, 6),
       {Source{{87.0, 89.0}, source_strength}, Source{{37.0, 14.0}, source_strength},
        Source{{55.0, 51.0}, source_strength}},

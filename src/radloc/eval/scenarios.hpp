@@ -46,9 +46,11 @@ struct Scenario {
                                        bool with_obstacle = false);
 
 /// The paper's three-source variant of Scenario A (Sec. VI-A): sources at
-/// (87,89), (37,14), (55,51).
+/// (87,89), (37,14), (55,51). `with_obstacle` adds Scenario A's U-shaped
+/// obstacle (the Fig. 5 three-source-with-obstacle configuration).
 [[nodiscard]] Scenario make_scenario_a3(double source_strength = 10.0,
-                                        double background_cpm = 5.0);
+                                        double background_cpm = 5.0,
+                                        bool with_obstacle = false);
 
 /// Scenario B: 196-sensor grid, 9 sources (10-100 uCi), 3 obstacles.
 [[nodiscard]] Scenario make_scenario_b(double background_cpm = 5.0, bool with_obstacles = true);

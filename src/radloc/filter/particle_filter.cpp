@@ -70,6 +70,7 @@ double FusionParticleFilter::random_strength() {
 
 double FusionParticleFilter::hypothesis_rate(const Point2& at, const SensorResponse& response,
                                              const Point2& pos, double strength,
+                                             const TransmissionCache* cache,
                                              const TransmissionCache::Field* field) const {
   const Source hypothesis{pos, strength};
   if (!cfg_.use_known_obstacles) {
@@ -79,7 +80,7 @@ double FusionParticleFilter::hypothesis_rate(const Point2& at, const SensorRespo
     // Cached Eq. (3): exact free-space fading times the memoized
     // transmission of the sensor->particle path.
     return kMicroCurieToCpm * response.efficiency * free_space_intensity(at, hypothesis) *
-               cache_->transmission(*field, pos) +
+               cache->transmission(*field, pos) +
            response.background_cpm;
   }
   return expected_cpm_single(at, hypothesis, *env_, response);
@@ -160,8 +161,16 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
   if (subset_mass_before <= 0.0) return 0;
 
   // The transmission field for this origin is prepared serially here; the
-  // parallel loop below only reads it.
-  const TransmissionCache::Field* field = cache_ != nullptr ? cache_->prepare(at) : nullptr;
+  // parallel loop below only reads it. A borrowed shared cache (prepared up
+  // front, read-only — safe across concurrent trials) wins over the owned
+  // one; origins it lacks fall back to exact geometry.
+  const TransmissionCache* cache = shared_cache_ != nullptr ? shared_cache_ : cache_.get();
+  const TransmissionCache::Field* field = nullptr;
+  if (shared_cache_ != nullptr) {
+    field = shared_cache_->find(at);
+  } else if (cache_ != nullptr) {
+    field = cache_->prepare(at);
+  }
 
   // log(cpm!) is constant across the subset — pay lgamma once, not per
   // particle (PoissonLogPmf evaluates bit-identically to poisson_log_pmf).
@@ -171,7 +180,7 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     for (std::size_t k = begin; k < end; ++k) {
       const auto i = subset_[k];
       subset_weights_[k] =
-          log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], field));
+          log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], cache, field));
     }
   };
   if (pool_ != nullptr) {

@@ -103,6 +103,17 @@ class FusionParticleFilter {
   /// The per-sensor transmission cache, if cfg enabled one (diagnostics).
   [[nodiscard]] const TransmissionCache* transmission_cache() const { return cache_.get(); }
 
+  /// Borrows an externally owned, fully prepared transmission cache instead
+  /// of this filter's own lazily built one — run_experiment's per-scenario
+  /// shared read-only state: the fields depend only on the environment and
+  /// sensor origins, so concurrent trials can share one cache with no
+  /// hot-path synchronization. The cache must be built over the same
+  /// environment and cell size as cfg would build, prepared (serially, up
+  /// front) for every origin the filter will query, and must outlive the
+  /// filter. Origins the shared cache lacks fall back to exact geometry;
+  /// nullptr restores the owned cache.
+  void set_shared_transmission_cache(const TransmissionCache* cache) { shared_cache_ = cache; }
+
   /// Ingestion validator: per-fault accept/reject tallies for everything fed
   /// through process()/try_process()/process_reading().
   [[nodiscard]] const MeasurementValidator& validator() const { return validator_; }
@@ -115,6 +126,7 @@ class FusionParticleFilter {
   void initialize_particles();
   [[nodiscard]] double hypothesis_rate(const Point2& at, const SensorResponse& response,
                                        const Point2& pos, double strength,
+                                       const TransmissionCache* cache,
                                        const TransmissionCache::Field* field) const;
   [[nodiscard]] Point2 random_position();
   [[nodiscard]] double random_strength();
@@ -129,6 +141,7 @@ class FusionParticleFilter {
   MeasurementValidator validator_;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<TransmissionCache> cache_;
+  const TransmissionCache* shared_cache_ = nullptr;  ///< wins over cache_ when set
 
   std::vector<Point2> positions_;
   std::vector<double> strengths_;

@@ -53,6 +53,14 @@ const TransmissionCache::Field* TransmissionCache::prepare(const Point2& origin)
   return &fields_.back();
 }
 
+const TransmissionCache::Field* TransmissionCache::find(const Point2& origin) const {
+  if (env_->revision() != revision_) return nullptr;
+  for (const auto& f : fields_) {
+    if (f.origin == origin) return &f;
+  }
+  return nullptr;
+}
+
 double TransmissionCache::transmission(const Field& field, const Point2& target) const {
   const AreaBounds& b = env_->bounds();
   const double u = std::clamp((target.x - b.min.x) * inv_dx_, 0.0, static_cast<double>(nx_));

@@ -52,6 +52,14 @@ class TransmissionCache {
   /// revision change (which drops every field) or cache destruction.
   const Field* prepare(const Point2& origin);
 
+  /// Read-only lookup: the field for `origin` if it was already prepared AND
+  /// the environment's obstacle revision still matches; nullptr otherwise
+  /// (the caller falls back to prepare() on its own cache, or to exact
+  /// geometry). Never builds or drops fields, so — per the thread-safety
+  /// contract above — a fully prepared cache can be shared const across
+  /// concurrent localizers (run_experiment's per-scenario shared state).
+  [[nodiscard]] const Field* find(const Point2& origin) const;
+
   /// Bilinearly interpolated transmission from `field.origin` to `target`;
   /// node values are exact exp(-path_attenuation). Targets outside the
   /// bounds clamp to the boundary node values.

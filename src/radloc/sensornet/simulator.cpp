@@ -16,9 +16,17 @@ MeasurementSimulator::MeasurementSimulator(const Environment& env, std::vector<S
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
     require(sensors_[i].id == i, "sensor ids must be dense and in order");
   }
+  rates_.reserve(sensors_.size());
+  for (const Sensor& s : sensors_) {
+    rates_.push_back(expected_cpm(s.pos, sources_, *env_, s.response));
+  }
+  rates_revision_ = env_->revision();
 }
 
 double MeasurementSimulator::expected_cpm_at(SensorId i) const {
+  // The memo is exact (same expression, evaluated once) while the obstacle
+  // set is unchanged; after an obstacle edit fall back to fresh geometry.
+  if (env_->revision() == rates_revision_) return rates_.at(i);
   const Sensor& s = sensors_.at(i);
   return expected_cpm(s.pos, sources_, *env_, s.response);
 }

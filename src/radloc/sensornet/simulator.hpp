@@ -5,6 +5,7 @@
 // true environment (obstacles included).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,14 @@ class MeasurementSimulator {
   std::vector<Sensor> sensors_;
   std::vector<Source> sources_;
   std::vector<bool> dead_;
+  // Eq. (4) rates memoized per sensor at construction (sensors, sources and
+  // the obstacle geometry are all fixed): static-sensor sampling becomes
+  // pure Poisson draws with no geometry, and — because the memo is written
+  // once and only read afterwards — one simulator is safe to share const
+  // across concurrent experiment trials. Guarded by the environment's
+  // obstacle revision; on mismatch expected_cpm_at recomputes exactly.
+  std::vector<double> rates_;
+  std::uint64_t rates_revision_ = 0;
 };
 
 }  // namespace radloc

@@ -99,5 +99,115 @@ TEST(ThreadPool, ChunksCoverRangeWithoutOverlap) {
   EXPECT_EQ(cursor, 100u);
 }
 
+TEST(TaskGroup, RunsEveryTask) {
+  ThreadPool pool(4, 4);
+  constexpr std::size_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.run([&hits, i] { hits[i].fetch_add(1); });
+    }
+    group.wait();
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, DestructorWaits) {
+  ThreadPool pool(4, 4);
+  std::atomic<int> count{0};
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) group.run([&count] { count.fetch_add(1); });
+    // No explicit wait: ~TaskGroup must block until every task ran.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(TaskGroup, SerialPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on;
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) {
+    group.run([&ran_on] { ran_on.push_back(std::this_thread::get_id()); });
+  }
+  group.wait();
+  ASSERT_EQ(ran_on.size(), 5u);
+  for (const auto id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(TaskGroup, InPoolWorkVisibleInsideTasks) {
+  ThreadPool pool(2, 2);
+  EXPECT_FALSE(pool.in_pool_work());
+  std::atomic<int> inside{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&] {
+      if (pool.in_pool_work()) inside.fetch_add(1);
+    });
+  }
+  group.wait();
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(pool.in_pool_work());
+}
+
+// The nesting contract: a parallel_for issued from inside pool work runs
+// the whole range inline on that worker instead of re-entering the queue —
+// no deadlock, no oversubscription, every index exactly once.
+TEST(TaskGroup, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4, 4);
+  constexpr std::size_t tasks = 16;
+  constexpr std::size_t inner = 1000;
+  std::vector<std::atomic<int>> hits(tasks * inner);
+  ThreadPool::TaskGroup group(pool);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    group.run([&, t] {
+      const auto me = std::this_thread::get_id();
+      pool.parallel_for(inner, [&, t, me](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(std::this_thread::get_id(), me);
+        for (std::size_t i = begin; i < end; ++i) hits[t * inner + i].fetch_add(1);
+      });
+    });
+  }
+  group.wait();
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, ManyMoreTasksThanWorkers) {
+  // wait() must make progress by stealing queued tasks, not just blocking.
+  ThreadPool pool(2, 2);
+  std::atomic<int> count{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 500; ++i) group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(TaskGroup, GroupReusableAfterWait) {
+  ThreadPool pool(3, 3);
+  std::atomic<int> count{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 32; ++i) group.run([&count] { count.fetch_add(1); });
+    group.wait();
+    ASSERT_EQ(count.load(), 32 * (round + 1));
+  }
+}
+
+TEST(TaskGroup, ParallelForFromCallerWhileGroupPending) {
+  // An outer serial caller may interleave its own parallel_for with a
+  // pending TaskGroup on the same pool; both must complete.
+  ThreadPool pool(4, 4);
+  std::atomic<int> task_count{0};
+  std::atomic<int> index_count{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 50; ++i) group.run([&task_count] { task_count.fetch_add(1); });
+  pool.for_each_index(300, [&](std::size_t) { index_count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(task_count.load(), 50);
+  EXPECT_EQ(index_count.load(), 300);
+}
+
 }  // namespace
 }  // namespace radloc

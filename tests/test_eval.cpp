@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "radloc/eval/experiment.hpp"
 #include "radloc/eval/matching.hpp"
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
@@ -216,6 +218,92 @@ TEST(ExperimentResultTest, AverageHelpersSkipNaN) {
   EXPECT_DOUBLE_EQ(r.avg_false_positives(0, 3), 2.0);
   EXPECT_DOUBLE_EQ(r.avg_false_negatives(0, 3), 1.0 / 3.0);
   EXPECT_TRUE(std::isnan(r.avg_error(0, 0, 0)));
+}
+
+// ------------------------------------------------ parallel determinism pin
+
+// Bitwise comparison (NaN == NaN) — EXPECT_DOUBLE_EQ would accept ULP noise
+// and reject NaN pairs; the contract here is exact equality.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  ASSERT_EQ(a.error.size(), b.error.size());
+  for (std::size_t t = 0; t < a.error.size(); ++t) {
+    ASSERT_EQ(a.error[t].size(), b.error[t].size());
+    for (std::size_t j = 0; j < a.error[t].size(); ++j) {
+      EXPECT_TRUE(same_bits(a.error[t][j], b.error[t][j])) << "error[" << t << "][" << j << "]";
+      EXPECT_TRUE(same_bits(a.matched_frac[t][j], b.matched_frac[t][j]))
+          << "matched_frac[" << t << "][" << j << "]";
+    }
+    EXPECT_TRUE(same_bits(a.false_positives[t], b.false_positives[t])) << "fp[" << t << "]";
+    EXPECT_TRUE(same_bits(a.false_negatives[t], b.false_negatives[t])) << "fn[" << t << "]";
+  }
+  // seconds_per_iteration is wall clock and intentionally excluded.
+}
+
+// The tentpole contract of the parallel trial runner: any thread count and
+// either sharing mode produce bit-identical metrics to the serial seed path.
+TEST(ExperimentParallel, EightThreadsBitIdenticalToSerial) {
+  const Scenario scenario = make_scenario_a(10.0, 5.0, false);
+  ExperimentOptions serial;
+  serial.trials = 4;
+  serial.time_steps = 5;
+  serial.seed = 21;
+  serial.num_threads = 1;
+  serial.share_scenario_state = false;  // the seed configuration
+  const auto ref = run_experiment(scenario, serial);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ExperimentOptions opts = serial;
+    opts.num_threads = threads;
+    opts.share_scenario_state = true;
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+    expect_identical(ref, run_experiment(scenario, opts));
+  }
+}
+
+TEST(ExperimentParallel, SharedStateBitIdenticalWithObstaclesAndCache) {
+  // Obstacle scenario with the transmission cache on: the shared per-
+  // scenario cache and simulator rate table must reproduce the per-trial
+  // rebuilds exactly.
+  const Scenario scenario = make_scenario_a3(10.0, 5.0, /*with_obstacle=*/true);
+  ExperimentOptions base;
+  base.trials = 3;
+  base.time_steps = 4;
+  base.seed = 9;
+  base.localizer.filter.use_known_obstacles = true;
+  base.localizer.filter.use_transmission_cache = true;
+  base.use_scenario_defaults = false;
+
+  ExperimentOptions serial = base;
+  serial.num_threads = 1;
+  serial.share_scenario_state = false;
+  const auto ref = run_experiment(scenario, serial);
+
+  ExperimentOptions shared_serial = base;
+  shared_serial.num_threads = 1;
+  shared_serial.share_scenario_state = true;
+  expect_identical(ref, run_experiment(scenario, shared_serial));
+
+  ExperimentOptions shared_parallel = base;
+  shared_parallel.num_threads = 8;
+  shared_parallel.share_scenario_state = true;
+  expect_identical(ref, run_experiment(scenario, shared_parallel));
+}
+
+TEST(ExperimentParallel, MoreThreadsThanTrials) {
+  const Scenario scenario = make_scenario_a(10.0, 5.0, false);
+  ExperimentOptions serial;
+  serial.trials = 2;
+  serial.time_steps = 3;
+  serial.seed = 4;
+  const auto ref = run_experiment(scenario, serial);
+
+  ExperimentOptions opts = serial;
+  opts.num_threads = 16;
+  expect_identical(ref, run_experiment(scenario, opts));
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Deterministic stress harness for the ThreadPool nesting contract.
+//
+// Seeded randomized episodes interleave TaskGroup submission, nested
+// parallel_for calls issued from inside pool work, caller-side parallel_for
+// while a group is pending, and group reuse — across pool sizes 1..8 with
+// forced fan-out. Standing invariants: every unit of work runs exactly
+// once, nested parallel_for stays on the issuing worker, and every episode
+// terminates (the arbitration policy admits no deadlock schedule). Run
+// under the tsan preset this doubles as the data-race gauntlet for the
+// submission API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "radloc/concurrency/thread_pool.hpp"
+#include "radloc/rng/distributions.hpp"
+
+namespace radloc {
+namespace {
+
+TEST(StressPool, RandomizedNestingEpisodes) {
+  for (const std::uint64_t seed : {5u, 11u, 23u, 47u}) {
+    Rng rng(seed);
+    for (int episode = 0; episode < 8; ++episode) {
+      const std::size_t threads = 1 + uniform_index(rng, 8);
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << " episode " << episode << " threads " << threads);
+      ThreadPool pool(threads, threads);
+
+      const std::size_t tasks = 4 + uniform_index(rng, 28);
+      std::vector<std::size_t> inner_sizes;
+      std::size_t expected = 0;
+      for (std::size_t t = 0; t < tasks; ++t) {
+        // Mix empty, tiny, and chunk-spanning inner ranges.
+        const std::size_t inner = uniform_index(rng, 4) == 0 ? 0 : 1 + uniform_index(rng, 700);
+        inner_sizes.push_back(inner);
+        expected += inner == 0 ? 1 : inner;
+      }
+      const bool caller_interleaves = uniform_index(rng, 2) == 0;
+
+      std::atomic<std::size_t> units{0};
+      std::atomic<int> escaped_workers{0};
+      ThreadPool::TaskGroup group(pool);
+      for (std::size_t t = 0; t < tasks; ++t) {
+        const std::size_t inner = inner_sizes[t];
+        group.run([&, inner] {
+          if (inner == 0) {
+            units.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          const auto me = std::this_thread::get_id();
+          pool.parallel_for(inner, [&, me](std::size_t begin, std::size_t end) {
+            if (std::this_thread::get_id() != me) escaped_workers.fetch_add(1);
+            units.fetch_add(end - begin, std::memory_order_relaxed);
+          });
+        });
+      }
+      if (caller_interleaves) {
+        std::atomic<std::size_t> caller_units{0};
+        pool.for_each_index(123, [&](std::size_t) {
+          caller_units.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(caller_units.load(), 123u);
+      }
+      group.wait();
+      ASSERT_EQ(units.load(), expected);
+      ASSERT_EQ(escaped_workers.load(), 0)
+          << "nested parallel_for left the issuing worker thread";
+    }
+  }
+}
+
+TEST(StressPool, GroupReuseAcrossEpisodesOnOnePool) {
+  Rng rng(301);
+  ThreadPool pool(4, 4);
+  ThreadPool::TaskGroup group(pool);
+  std::size_t expected = 0;
+  std::atomic<std::size_t> units{0};
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t tasks = 1 + uniform_index(rng, 40);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      group.run([&units] { units.fetch_add(1, std::memory_order_relaxed); });
+    }
+    expected += tasks;
+    if (uniform_index(rng, 3) != 0) {
+      group.wait();
+      ASSERT_EQ(units.load(), expected) << "round " << round;
+    }
+    // Occasionally leave the round pending: the next round's submissions and
+    // the final wait must still account for every task.
+  }
+  group.wait();
+  ASSERT_EQ(units.load(), expected);
+}
+
+TEST(StressPool, ManyShortLivedPools) {
+  // Construction/teardown under load: pools destroyed with freshly-drained
+  // queues must join cleanly every time.
+  Rng rng(77);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t threads = 1 + uniform_index(rng, 8);
+    ThreadPool pool(threads, threads);
+    std::atomic<int> count{0};
+    ThreadPool::TaskGroup group(pool);
+    const int tasks = static_cast<int>(1 + uniform_index(rng, 16));
+    for (int t = 0; t < tasks; ++t) group.run([&count] { count.fetch_add(1); });
+    group.wait();
+    ASSERT_EQ(count.load(), tasks);
+  }
+}
+
+}  // namespace
+}  // namespace radloc

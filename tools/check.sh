@@ -2,8 +2,11 @@
 # radloc correctness gauntlet: tier-1 tests plus the sanitizer suites.
 #
 #   tools/check.sh            # release + asan + tsan (full ctest each)
-#   tools/check.sh release    # any subset of: release asan tsan
+#   tools/check.sh release    # any subset of: release asan tsan benchsmoke
 #   RADLOC_CHECK_JOBS=8 tools/check.sh
+#
+# The release stage's ctest includes the `benchsmoke` label (every bench
+# binary in --smoke mode); pass `benchsmoke` as a stage to run only those.
 #
 # Each stage is a CMake preset (see CMakePresets.json); build trees land in
 # build/<preset>. The script stops at the first failing stage.
@@ -17,14 +20,18 @@ if [ ${#stages[@]} -eq 0 ]; then
 fi
 
 for stage in "${stages[@]}"; do
+  # benchsmoke shares the release build tree; its test preset filters to
+  # the bench --smoke entries.
+  build_preset="$stage"
   case "$stage" in
     release|asan|tsan) ;;
-    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan)" >&2; exit 2 ;;
+    benchsmoke) build_preset="release" ;;
+    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan|benchsmoke)" >&2; exit 2 ;;
   esac
   echo "==> [$stage] configure"
-  cmake --preset "$stage" >/dev/null
+  cmake --preset "$build_preset" >/dev/null
   echo "==> [$stage] build"
-  cmake --build --preset "$stage" -j "$jobs"
+  cmake --build --preset "$build_preset" -j "$jobs"
   echo "==> [$stage] ctest"
   ctest --preset "$stage" -j "$jobs"
   echo "==> [$stage] OK"

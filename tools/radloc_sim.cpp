@@ -30,6 +30,7 @@ struct Options {
   bool obstacles = false;
   std::size_t steps = 30;
   std::size_t trials = 1;
+  std::size_t threads = 1;
   std::optional<std::size_t> particles;
   std::uint64_t seed = 1;
   std::string delivery = "auto";  // auto | inorder | shuffled | latency
@@ -48,6 +49,9 @@ struct Options {
       "  --obstacles             enable the scenario's obstacles\n"
       "  --steps <n>             time steps (default 30)\n"
       "  --trials <n>            averaging trials (default 1)\n"
+      "  --threads <n>           trial-level worker threads; results are\n"
+      "                          bit-identical at any count (default 1, or\n"
+      "                          the RADLOC_THREADS env var)\n"
       "  --particles <n>         override particle count\n"
       "  --seed <n>              RNG seed (default 1)\n"
       "  --delivery <kind>       auto|inorder|shuffled|latency (default auto)\n"
@@ -61,6 +65,10 @@ struct Options {
 
 Options parse(int argc, char** argv) {
   Options opt;
+  if (const char* v = std::getenv("RADLOC_THREADS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) opt.threads = static_cast<std::size_t>(parsed);
+  }
   auto next = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
       std::cerr << "missing value for " << argv[i] << "\n";
@@ -77,6 +85,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--obstacles") opt.obstacles = true;
     else if (a == "--steps") opt.steps = std::stoul(next(i));
     else if (a == "--trials") opt.trials = std::stoul(next(i));
+    else if (a == "--threads") opt.threads = std::stoul(next(i));
     else if (a == "--particles") opt.particles = std::stoul(next(i));
     else if (a == "--seed") opt.seed = std::stoull(next(i));
     else if (a == "--delivery") opt.delivery = next(i);
@@ -110,6 +119,7 @@ int main(int argc, char** argv) {
 
   ExperimentOptions exp;
   exp.trials = opt.trials;
+  exp.num_threads = opt.threads;
   exp.time_steps = opt.steps;
   exp.seed = opt.seed;
   exp.loss_rate = opt.loss;
