@@ -66,7 +66,10 @@ int main(int argc, char** argv) {
     }
 
     std::vector<double> row{static_cast<double>(k)};
-    const std::string scenario_label = "K" + std::to_string(k);
+    // Built with append, not operator+: the concat form trips GCC 12's
+    // -Wrestrict false positive (PR 105329) at -O3.
+    std::string scenario_label = "K";
+    scenario_label += std::to_string(k);
     auto score = [&](const char* method, const std::vector<SourceEstimate>& est, double secs) {
       const auto match = match_estimates(truth, est);
       row.push_back(match.mean_error());

@@ -14,6 +14,7 @@
 #include "radloc/eval/report.hpp"
 #include "radloc/eval/scenarios.hpp"
 #include "radloc/sensornet/simulator.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace {
 
@@ -108,6 +109,26 @@ int main(int argc, char** argv) {
     }
     print_banner(std::cout, "log-strength bandwidth (library default 0.75)");
     const std::vector<std::string> header{"bandwidth", "err", "FP", "FN", "estimate_ms"};
+    print_table(std::cout, header, rows);
+  }
+  {
+    // Simd tier sweep: the full localize-and-estimate pipeline (weight
+    // update + mean-shift profile both route through the batch kernels) at
+    // every tier the host supports. Accuracy must be flat across tiers; the
+    // estimate time is the mean-shift side of the tier speedup story.
+    std::vector<std::vector<double>> rows;
+    for (const auto tier : simd::sweep_tiers()) {
+      simd::force_tier(tier);
+      const Row r = run(scenario, MeanShiftConfig{}, trials);
+      const std::string name = std::string("gaussian,simd:") + simd::tier_name(tier);
+      json.add("kernels-scenario-A3", name, "error", r.err);
+      json.add("kernels-scenario-A3", name, "estimate_ms", r.est_ms);
+      rows.push_back({static_cast<double>(tier), r.err, r.fp, r.fn, r.est_ms});
+    }
+    simd::reset_tier();
+    print_banner(std::cout,
+                 "simd kernel tier (0 scalar, 1 sse2, 2 avx2; RADLOC_SIMD pins one)");
+    const std::vector<std::string> header{"tier", "err", "FP", "FN", "estimate_ms"};
     print_table(std::cout, header, rows);
   }
   return 0;

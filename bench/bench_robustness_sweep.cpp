@@ -61,7 +61,9 @@ int main(int argc, char** argv) {
     rows.push_back({static_cast<double>(k), err_ci.point, err_ci.lo, err_ci.hi, fn_ci.point,
                     bootstrap_mean_ci(fp_counts, boot).point,
                     static_cast<double>(perfect) / static_cast<double>(worlds)});
-    const std::string config = "K" + std::to_string(k);
+    // Append, not operator+ — GCC 12 -Wrestrict false positive (PR 105329).
+    std::string config = "K";
+    config += std::to_string(k);
     json.add("random-worlds", config, "mean_error", err_ci.point);
     json.add("random-worlds", config, "fn_mean", fn_ci.point);
     json.add("random-worlds", config, "perfect_frac",

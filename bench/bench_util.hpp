@@ -17,11 +17,15 @@
 // numbers through JsonWriter, which emits BENCH_<name>.json in the working
 // directory with one stable schema across benches:
 //
-//   { "bench": "<name>", "host_hw_threads": H, "smoke": false,
+//   { "bench": "<name>", "host_hw_threads": H, "host_simd": "<tier>",
+//     "smoke": false,
 //     "results": [ { "scenario": "...", "config": "...", "metric": "...",
 //                    "threads": T, "value": V }, ... ] }
 //
 // so the perf/accuracy trajectory can be diffed across commits.
+// `host_simd` is the best kernel tier the host supports (simd/simd.hpp) —
+// benches that sweep tiers additionally tag each row's `config` string with
+// `simd:<tier>`, so numbers from different machines compare honestly.
 #pragma once
 
 #include <cstdio>
@@ -31,6 +35,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "radloc/simd/simd.hpp"
 
 namespace radloc::bench {
 
@@ -120,8 +126,9 @@ class JsonWriter {
       return;
     }
     const unsigned hw = std::thread::hardware_concurrency();
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"host_hw_threads\": %u,\n  \"smoke\": %s,\n",
-                 name_.c_str(), hw, smoke() ? "true" : "false");
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"host_hw_threads\": %u,\n", name_.c_str(), hw);
+    std::fprintf(f, "  \"host_simd\": \"%s\",\n  \"smoke\": %s,\n",
+                 simd::tier_name(simd::detected_tier()), smoke() ? "true" : "false");
     std::fprintf(f, "  \"results\": [");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];

@@ -34,6 +34,8 @@
 #include "radloc/radiation/transmission_cache.hpp"
 #include "radloc/rng/distributions.hpp"
 #include "radloc/sensornet/simulator.hpp"
+#include "radloc/simd/aligned.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace {
 
@@ -211,6 +213,84 @@ void BM_WeightUpdate(benchmark::State& state) {
       benchmark::Counter(secs > 0.0 ? static_cast<double>(scored) / secs : 0.0);
 }
 
+/// One batched Poisson log-PMF pass over a fusion-subset-sized rate array —
+/// the kernel the simd tiers exist for. Swept per tier (RegisterBenchmark in
+/// main) so BENCH_weight_update.json records the scalar-vs-vector trajectory.
+void BM_PoissonBatch(benchmark::State& state, simd::Tier tier) {
+  const Cloud c = make_cloud(false);
+  const simd::Kernels& ker = simd::kernels_for(tier);
+  const Sensor& s = c.scenario.sensors[0];
+  const PoissonLogPmf log_pmf(c.readings[0]);
+
+  // Realistic rate magnitudes: every particle scored against sensor 0.
+  simd::AVector<double> rates(kParticles);
+  simd::AVector<double> out(kParticles);
+  for (std::size_t i = 0; i < kParticles; ++i) {
+    rates[i] = expected_cpm_single_free_space(s.pos, Source{c.positions[i], c.strengths[i]},
+                                              s.response);
+  }
+
+  std::size_t scored = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ker.poisson_log_pmf(log_pmf.count(), log_pmf.log_k_factorial(), rates.data(), out.data(),
+                        kParticles);
+    benchmark::DoNotOptimize(out.data());
+    scored += kParticles;
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  state.counters["particles_per_sec"] =
+      benchmark::Counter(secs > 0.0 ? static_cast<double>(scored) / secs : 0.0);
+}
+
+/// The filter's full batched scoring pipeline per tier: SoA gather, then
+/// hypothesis rates (with gathered bilinear transmissions when obstacles are
+/// cached), then the batch Poisson — exactly process_reading_impl's batched
+/// path, serial, isolating the kernel tier from thread scaling.
+void BM_WeightUpdateBatched(benchmark::State& state, bool obstacles, simd::Tier tier) {
+  const Cloud c = make_cloud(obstacles);
+  const simd::Kernels& ker = simd::kernels_for(tier);
+  TransmissionCache cache(c.scenario.env, 2.0);
+
+  simd::AVector<double> gx(kParticles);
+  simd::AVector<double> gy(kParticles);
+  simd::AVector<double> gs(kParticles);
+  simd::AVector<double> gt(kParticles);
+  simd::AVector<double> lls(kParticles);
+
+  std::size_t sensor = 0;
+  std::size_t scored = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const Sensor& s = c.scenario.sensors[sensor];
+    const auto& subset = c.subsets[sensor];
+    const std::size_t n = subset.size();
+    const PoissonLogPmf log_pmf(c.readings[sensor]);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto i = subset[k];
+      gx[k] = c.positions[i].x;
+      gy[k] = c.positions[i].y;
+      gs[k] = c.strengths[i];
+    }
+    const double* trans = nullptr;
+    if (obstacles) {
+      const TransmissionCache::Field* field = cache.prepare(s.pos);
+      ker.bilinear(cache.grid_view(*field), gx.data(), gy.data(), gt.data(), n);
+      trans = gt.data();
+    }
+    ker.hypothesis_rates(s.pos.x, s.pos.y, kMicroCurieToCpm * s.response.efficiency,
+                         s.response.background_cpm, gx.data(), gy.data(), gs.data(), trans,
+                         lls.data(), n);
+    ker.poisson_log_pmf(log_pmf.count(), log_pmf.log_k_factorial(), lls.data(), lls.data(), n);
+    benchmark::DoNotOptimize(lls.data());
+    scored += n;
+    sensor = (sensor + 1) % c.scenario.sensors.size();
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  state.counters["particles_per_sec"] =
+      benchmark::Counter(secs > 0.0 ? static_cast<double>(scored) / secs : 0.0);
+}
+
 /// Console reporter that records particles_per_sec per benchmark so the main
 /// can print seed-vs-new speedups after the run.
 class SpeedupReporter : public benchmark::ConsoleReporter {
@@ -250,6 +330,28 @@ void print_speedups(const std::map<std::string, double>& rates) {
   report("obstacles, 1 thread, cache on", "BM_WeightUpdate/obstacles:1/threads:1/cache:1",
          "BM_WeightUpdateSeed/obstacles:1");
   report("obstacles, 4 threads, cache on", "BM_WeightUpdate/obstacles:1/threads:4/cache:1",
+         "BM_WeightUpdateSeed/obstacles:1");
+
+  // Tier sweep (rows exist only for tiers the host ran — RADLOC_SIMD pins).
+  std::printf("\n--- simd kernel tiers vs scalar tier ---\n");
+  for (const char* tier : {"sse2", "avx2"}) {
+    const std::string suffix = std::string("simd:") + tier;
+    report((std::string("poisson batch, ") + tier + " vs scalar").c_str(),
+           "BM_PoissonBatch/" + suffix, "BM_PoissonBatch/simd:scalar");
+    report((std::string("batched scoring, free space, ") + tier + " vs scalar").c_str(),
+           "BM_WeightUpdateBatched/obstacles:0/" + suffix,
+           "BM_WeightUpdateBatched/obstacles:0/simd:scalar");
+    report((std::string("batched scoring, cached obstacles, ") + tier + " vs scalar").c_str(),
+           "BM_WeightUpdateBatched/obstacles:1/" + suffix,
+           "BM_WeightUpdateBatched/obstacles:1/simd:scalar");
+  }
+  report("batched scoring vs seed serial, free space",
+         std::string("BM_WeightUpdateBatched/obstacles:0/simd:") +
+             simd::tier_name(simd::detected_tier()),
+         "BM_WeightUpdateSeed/obstacles:0");
+  report("batched scoring vs seed serial, obstacles",
+         std::string("BM_WeightUpdateBatched/obstacles:1/simd:") +
+             simd::tier_name(simd::detected_tier()),
          "BM_WeightUpdateSeed/obstacles:1");
 }
 
@@ -291,6 +393,22 @@ int main(int argc, char** argv) {
   int argc2 = static_cast<int>(args.size());
   benchmark::Initialize(&argc2, args.data());
   if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+
+  // The simd tier sweep is a runtime property of the host (clamped to what
+  // it supports; RADLOC_SIMD pins a single tier), so these are registered
+  // dynamically; the tier rides in the name and lands in the JSON `config`.
+  for (const auto tier : radloc::simd::sweep_tiers()) {
+    const std::string tn = radloc::simd::tier_name(tier);
+    benchmark::RegisterBenchmark(("BM_PoissonBatch/simd:" + tn).c_str(),
+                                 [tier](benchmark::State& s) { BM_PoissonBatch(s, tier); });
+    benchmark::RegisterBenchmark(
+        ("BM_WeightUpdateBatched/obstacles:0/simd:" + tn).c_str(),
+        [tier](benchmark::State& s) { BM_WeightUpdateBatched(s, false, tier); });
+    benchmark::RegisterBenchmark(
+        ("BM_WeightUpdateBatched/obstacles:1/simd:" + tn).c_str(),
+        [tier](benchmark::State& s) { BM_WeightUpdateBatched(s, true, tier); });
+  }
+
   SpeedupReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   print_speedups(reporter.rates);

@@ -8,6 +8,7 @@
 #include "radloc/filter/resample.hpp"
 #include "radloc/radiation/intensity_model.hpp"
 #include "radloc/rng/distributions.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace radloc {
 
@@ -38,20 +39,26 @@ void JointParticleFilter::process(const Measurement& m) {
   const Sensor& sensor = sensors_[m.sensor];
   const std::size_t k = cfg_.num_sources;
 
-  // log(cpm!) is shared by every particle's likelihood — hoist it.
+  // log(cpm!) is shared by every particle's likelihood — hoist it, and
+  // score all hypothesis rates with one batch kernel call (the scalar tier
+  // replays PoissonLogPmf bit for bit; same for the max scan and exp).
   const PoissonLogPmf log_pmf(m.cpm);
-  double max_ll = -std::numeric_limits<double>::infinity();
-  std::vector<double> ll(weights_.size());
-  for (std::size_t p = 0; p < weights_.size(); ++p) {
+  const std::size_t np = weights_.size();
+  rates_.resize(np);
+  for (std::size_t p = 0; p < np; ++p) {
     const std::span<const Source> hyp(states_.data() + p * k, k);
-    ll[p] = log_pmf(joint_rate(sensor, hyp));
-    if (ll[p] > max_ll) max_ll = ll[p];
+    rates_[p] = joint_rate(sensor, hyp);
   }
+  const simd::Kernels& ker = simd::kernels();
+  ker.poisson_log_pmf(log_pmf.count(), log_pmf.log_k_factorial(), rates_.data(), rates_.data(),
+                      np);
+  const double max_ll = ker.max_value(rates_.data(), np);
   if (!std::isfinite(max_ll)) return;
 
+  ker.exp_shifted(rates_.data(), max_ll, rates_.data(), np);
   double total = 0.0;
-  for (std::size_t p = 0; p < weights_.size(); ++p) {
-    weights_[p] *= std::exp(ll[p] - max_ll);
+  for (std::size_t p = 0; p < np; ++p) {
+    weights_[p] *= rates_[p];
     total += weights_[p];
   }
   if (total <= 0.0) {  // degenerate: reset to uniform rather than divide by 0

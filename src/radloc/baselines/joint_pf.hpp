@@ -19,6 +19,7 @@
 #include "radloc/radiation/source.hpp"
 #include "radloc/rng/rng.hpp"
 #include "radloc/sensornet/sensor.hpp"
+#include "radloc/simd/aligned.hpp"
 
 namespace radloc {
 
@@ -67,6 +68,9 @@ class JointParticleFilter {
   // particle p's hypothesis for source j lives at states_[p * K + j]
   std::vector<Source> states_;
   std::vector<double> weights_;
+  // process() scratch — joint rates, then scored in place by the batch
+  // Poisson kernel (simd/simd.hpp); reused so steady state never allocates
+  simd::AVector<double> rates_;
 };
 
 }  // namespace radloc

@@ -7,6 +7,8 @@
 #include "radloc/common/math.hpp"
 #include "radloc/radiation/intensity_model.hpp"
 #include "radloc/rng/distributions.hpp"
+#include "radloc/simd/aligned.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace radloc {
 
@@ -28,14 +30,34 @@ double MleLocalizer::negative_log_likelihood(std::span<const Measurement> measur
 double MleLocalizer::nll_with_kernels(std::span<const Measurement> measurements,
                                       std::span<const PoissonLogPmf> kernels,
                                       std::span<const Source> sources) const {
-  double nll = 0.0;
   const Environment free_space = env_->without_obstacles();
   const Environment& model_env = cfg_.use_known_obstacles ? *env_ : free_space;
-  for (std::size_t i = 0; i < measurements.size(); ++i) {
+
+  // The per-measurement counts vary, so this uses the multi-k batch kernel;
+  // the scalar tier replays PoissonLogPmf bit for bit, and the final sum
+  // runs in measurement order exactly as before. thread_local scratch:
+  // experiments evaluate objectives on concurrent trial threads, and one
+  // fit calls this thousands of times — steady state must not allocate.
+  struct Scratch {
+    simd::AVector<double> k;
+    simd::AVector<double> log_kf;
+    simd::AVector<double> rates;
+  };
+  thread_local Scratch sc;
+  const std::size_t n = measurements.size();
+  sc.k.resize(n);
+  sc.log_kf.resize(n);
+  sc.rates.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const Sensor& s = sensors_[measurements[i].sensor];
-    const double rate = expected_cpm(s.pos, sources, model_env, s.response);
-    nll -= kernels[i](rate);
+    sc.rates[i] = expected_cpm(s.pos, sources, model_env, s.response);
+    sc.k[i] = kernels[i].count();
+    sc.log_kf[i] = kernels[i].log_k_factorial();
   }
+  simd::kernels().poisson_log_pmf_multi(sc.k.data(), sc.log_kf.data(), sc.rates.data(),
+                                        sc.rates.data(), n);
+  double nll = 0.0;
+  for (std::size_t i = 0; i < n; ++i) nll -= sc.rates[i];
   return nll;
 }
 

@@ -44,6 +44,10 @@ class PoissonLogPmf {
 
   [[nodiscard]] double count() const { return k_; }
 
+  /// The hoisted log(k!) term (0.0 when k < 0) — lets the batch kernels
+  /// (simd/simd.hpp) replay operator() over whole rate arrays.
+  [[nodiscard]] double log_k_factorial() const { return log_k_factorial_; }
+
   [[nodiscard]] double operator()(double lambda) const {
     if (k_ < 0.0) return -std::numeric_limits<double>::infinity();
     if (lambda <= 0.0) {

@@ -9,6 +9,7 @@
 #include "radloc/filter/resample.hpp"
 #include "radloc/radiation/intensity_model.hpp"
 #include "radloc/rng/distributions.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace radloc {
 
@@ -52,6 +53,9 @@ void FusionParticleFilter::initialize_particles() {
   positions_.resize(np);
   strengths_.resize(np);
   weights_.assign(np, 1.0 / static_cast<double>(np));
+  simd::assert_vector_aligned(positions_.data());
+  simd::assert_vector_aligned(strengths_.data());
+  simd::assert_vector_aligned(weights_.data());
   for (std::size_t i = 0; i < np; ++i) {
     positions_[i] = random_position();
     strengths_[i] = random_strength();
@@ -175,33 +179,80 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
   // log(cpm!) is constant across the subset — pay lgamma once, not per
   // particle (PoissonLogPmf evaluates bit-identically to poisson_log_pmf).
   const PoissonLogPmf log_pmf(cpm);
-  subset_weights_.resize(subset_.size());
-  const auto score_chunk = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      const auto i = subset_[k];
-      subset_weights_[k] =
-          log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], cache, field));
+  const std::size_t n = subset_.size();
+  subset_weights_.resize(n);
+  const simd::Kernels& ker = simd::kernels();
+
+  // Scoring runs through the batch kernels (simd/simd.hpp) whenever the
+  // rate is pure arithmetic: free space, or the cached Eq. (3) path whose
+  // transmissions are bilinear lookups. Obstacle geometry without a cache
+  // field keeps the per-particle exact path. The scalar tier replays the
+  // seed expressions bit for bit; vector tiers are an explicit opt-in.
+  const bool batched = !cfg_.use_known_obstacles || field != nullptr;
+  if (batched) {
+    scratch_x_.resize(n);
+    scratch_y_.resize(n);
+    scratch_s_.resize(n);
+    const bool use_field = cfg_.use_known_obstacles;
+    if (use_field) scratch_t_.resize(n);
+    simd::assert_vector_aligned(scratch_x_.data());
+    simd::assert_vector_aligned(subset_weights_.data());
+    const double scale = kMicroCurieToCpm * response.efficiency;
+    const simd::BilinearGrid grid =
+        use_field ? cache->grid_view(*field) : simd::BilinearGrid{};
+    const auto score_chunk = [&](std::size_t begin, std::size_t end) {
+      const std::size_t len = end - begin;
+      if (len == 0) return;
+      double* gx = scratch_x_.data() + begin;
+      double* gy = scratch_y_.data() + begin;
+      double* gs = scratch_s_.data() + begin;
+      for (std::size_t k = 0; k < len; ++k) {
+        const auto i = subset_[begin + k];
+        gx[k] = positions_[i].x;
+        gy[k] = positions_[i].y;
+        gs[k] = strengths_[i];
+      }
+      const double* gt = nullptr;
+      if (use_field) {
+        double* t = scratch_t_.data() + begin;
+        ker.bilinear(grid, gx, gy, t, len);
+        gt = t;
+      }
+      double* out = subset_weights_.data() + begin;
+      ker.hypothesis_rates(at.x, at.y, scale, response.background_cpm, gx, gy, gs, gt, out,
+                           len);
+      ker.poisson_log_pmf(log_pmf.count(), log_pmf.log_k_factorial(), out, out, len);
+    };
+    if (pool_ != nullptr) {
+      // Chunks write disjoint slots; kernels are elementwise with padded
+      // tails, so any chunking yields the same bits within a tier, and the
+      // reductions below run serially in index order.
+      pool_->parallel_for(n, score_chunk);
+    } else {
+      score_chunk(0, n);
     }
-  };
-  if (pool_ != nullptr) {
-    // Chunks write disjoint slots of subset_weights_; every reduction below
-    // runs serially in index order, so the result is bit-identical to the
-    // serial path at any thread count.
-    pool_->parallel_for(subset_.size(), score_chunk);
   } else {
-    score_chunk(0, subset_.size());
+    const auto score_chunk = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const auto i = subset_[k];
+        subset_weights_[k] =
+            log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], cache, field));
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n, score_chunk);
+    } else {
+      score_chunk(0, n);
+    }
   }
 
-  double max_ll = -std::numeric_limits<double>::infinity();
-  for (const double ll : subset_weights_) {
-    if (ll > max_ll) max_ll = ll;
-  }
+  const double max_ll = ker.max_value(subset_weights_.data(), n);
   if (!std::isfinite(max_ll)) return 0;  // measurement impossible for all hypotheses
 
+  ker.exp_shifted(subset_weights_.data(), max_ll, subset_weights_.data(), n);
   double new_mass = 0.0;
-  for (std::size_t k = 0; k < subset_.size(); ++k) {
-    const double lik = std::exp(subset_weights_[k] - max_ll);
-    subset_weights_[k] = weights_[subset_[k]] * lik;
+  for (std::size_t k = 0; k < n; ++k) {
+    subset_weights_[k] = weights_[subset_[k]] * subset_weights_[k];
     new_mass += subset_weights_[k];
   }
   if (new_mass <= 0.0 || !std::isfinite(new_mass)) return 0;  // degenerate update: skip
@@ -225,17 +276,16 @@ void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset
   subset_weights_.resize(subset.size());
   for (std::size_t k = 0; k < subset.size(); ++k) subset_weights_[k] = weights_[subset[k]];
 
-  const auto picks = systematic_resample(rng_, subset_weights_, subset.size());
+  systematic_resample(rng_, subset_weights_, subset.size(), picks_);
 
   // Materialize the resampled hypotheses before overwriting the slots.
-  struct Drawn {
-    Point2 pos;
-    double strength;
-  };
-  std::vector<Drawn> drawn;
-  drawn.reserve(picks.size());
+  // picks_/drawn_ are members: a steady-state reading reuses their capacity
+  // instead of allocating (tests/test_alloc_steady.cpp).
+  auto& drawn = drawn_;
+  drawn.clear();
+  drawn.reserve(picks_.size());
   std::uint32_t prev = std::numeric_limits<std::uint32_t>::max();
-  for (const auto k : picks) {
+  for (const auto k : picks_) {
     const auto i = subset[k];
     Drawn d{positions_[i], strengths_[i]};
     if (k == prev) {

@@ -32,6 +32,7 @@
 #include "radloc/rng/rng.hpp"
 #include "radloc/sensornet/sensor.hpp"
 #include "radloc/sensornet/validation.hpp"
+#include "radloc/simd/aligned.hpp"
 
 namespace radloc {
 
@@ -143,18 +144,32 @@ class FusionParticleFilter {
   std::unique_ptr<TransmissionCache> cache_;
   const TransmissionCache* shared_cache_ = nullptr;  ///< wins over cache_ when set
 
-  std::vector<Point2> positions_;
-  std::vector<double> strengths_;
-  std::vector<double> weights_;
+  // SoA particle state, 32-byte aligned for the batch kernels.
+  simd::AVector<Point2> positions_;
+  simd::AVector<double> strengths_;
+  simd::AVector<double> weights_;
 
   std::unique_ptr<MovementModel> movement_;
   GridIndex grid_;
   bool grid_dirty_ = true;
   std::uint64_t iteration_ = 0;
 
-  // scratch buffers reused across iterations
+  // Scratch buffers reused across iterations: after warmup, a reading must
+  // not allocate (tests/test_alloc_steady.cpp pins this).
   std::vector<std::uint32_t> subset_;
-  std::vector<double> subset_weights_;
+  simd::AVector<double> subset_weights_;
+  // batch-kernel gather slices of the fusion subset (SoA)
+  simd::AVector<double> scratch_x_;
+  simd::AVector<double> scratch_y_;
+  simd::AVector<double> scratch_s_;
+  simd::AVector<double> scratch_t_;
+  // resample scratch
+  struct Drawn {
+    Point2 pos;
+    double strength;
+  };
+  std::vector<std::uint32_t> picks_;
+  std::vector<Drawn> drawn_;
 };
 
 }  // namespace radloc

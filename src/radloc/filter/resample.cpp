@@ -9,6 +9,13 @@ namespace radloc {
 
 std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double> weights,
                                                std::size_t count) {
+  std::vector<std::uint32_t> out;
+  systematic_resample(rng, weights, count, out);
+  return out;
+}
+
+void systematic_resample(Rng& rng, std::span<const double> weights, std::size_t count,
+                         std::vector<std::uint32_t>& out) {
   // A single NaN/inf weight would poison the cumulative sum and silently pin
   // every pick to one index (collapsing the subset), so non-finite input is a
   // hard error, reported explicitly rather than folded into the total.
@@ -34,9 +41,9 @@ std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double>
   }
   require(total > 0.0, "resampling needs a positive total weight");
 
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(count);
-  if (count == 0) return out;
+  if (count == 0) return;
 
   const double step = total / static_cast<double>(count);
   double pointer = uniform01(rng) * step;
@@ -50,7 +57,6 @@ std::vector<std::uint32_t> systematic_resample(Rng& rng, std::span<const double>
     out.push_back(static_cast<std::uint32_t>(i));
     pointer += step;
   }
-  return out;
 }
 
 }  // namespace radloc

@@ -19,4 +19,11 @@ namespace radloc {
                                                              std::span<const double> weights,
                                                              std::size_t count);
 
+/// Allocation-free variant for per-reading callers: fills `out` (cleared
+/// first, capacity reused) instead of returning a fresh vector. Identical
+/// semantics and RNG draw order — the uniform offset is consumed only when
+/// count > 0, exactly like the returning overload.
+void systematic_resample(Rng& rng, std::span<const double> weights, std::size_t count,
+                         std::vector<std::uint32_t>& out);
+
 }  // namespace radloc

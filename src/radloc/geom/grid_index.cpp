@@ -30,19 +30,21 @@ void GridIndex::rebuild(std::span<const Point2> points) {
   std::fill(cell_start_.begin(), cell_start_.end(), 0u);
   items_.resize(points.size());
 
-  // Counting sort into cells (CSR).
-  std::vector<std::uint32_t> cell_of_point(points.size());
+  // Counting sort into cells (CSR). The two passes reuse member scratch:
+  // rebuild runs once per filter reading, and a steady-state rebuild must
+  // not allocate (tests/test_alloc_steady.cpp).
+  cell_of_point_.resize(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto [cx, cy] = cell_of(points[i]);
     const auto cell =
         static_cast<std::uint32_t>(static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx));
-    cell_of_point[i] = cell;
+    cell_of_point_[i] = cell;
     ++cell_start_[cell + 1];
   }
   for (std::size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
-  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    items_[cursor[cell_of_point[i]]++] = static_cast<std::uint32_t>(i);
+    items_[cursor_[cell_of_point_[i]]++] = static_cast<std::uint32_t>(i);
   }
 }
 

@@ -61,6 +61,9 @@ class GridIndex {
   std::size_t ny_ = 0;
   std::vector<std::uint32_t> cell_start_;  // CSR offsets, size nx*ny + 1
   std::vector<std::uint32_t> items_;       // point indices grouped by cell
+  // rebuild() scratch, kept so steady-state rebuilds are allocation-free
+  std::vector<std::uint32_t> cell_of_point_;
+  std::vector<std::uint32_t> cursor_;
 };
 
 }  // namespace radloc

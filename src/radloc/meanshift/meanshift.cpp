@@ -5,8 +5,31 @@
 #include <numeric>
 
 #include "radloc/common/math.hpp"
+#include "radloc/simd/aligned.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace radloc {
+
+namespace {
+
+// Per-thread gather buffers for the batched profile evaluation: ascents for
+// different seeds run concurrently on the pool, and one ascent performs up
+// to max_iterations gathers — thread_local keeps them allocation-free at
+// steady state without racing.
+struct AscendScratch {
+  simd::AVector<double> x;
+  simd::AVector<double> y;
+  simd::AVector<double> ls;
+  simd::AVector<double> w;
+  simd::AVector<double> profile;
+};
+
+AscendScratch& ascend_scratch() {
+  thread_local AscendScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 MeanShiftEstimator::MeanShiftEstimator(const AreaBounds& bounds, MeanShiftConfig cfg,
                                        ThreadPool& pool)
@@ -58,7 +81,7 @@ std::vector<std::uint32_t> MeanShiftEstimator::select_seeds(
 }
 
 MeanShiftEstimator::Mode MeanShiftEstimator::ascend(std::span<const Point2> positions,
-                                                    std::span<const double> strengths,
+                                                    std::span<const double> log_strengths,
                                                     std::span<const double> weights,
                                                     Point2 seed_pos,
                                                     double seed_log_strength) const {
@@ -70,23 +93,42 @@ MeanShiftEstimator::Mode MeanShiftEstimator::ascend(std::span<const Point2> posi
   double s = seed_log_strength;
   double density = 0.0;
   const bool gaussian = cfg_.kernel == KernelType::kGaussian;
+  const simd::Kernels& ker = simd::kernels();
+  AscendScratch& sc = ascend_scratch();
 
   for (std::size_t iter = 0; iter < cfg_.max_iterations; ++iter) {
-    Point2 num_pos{0.0, 0.0};
-    double num_s = 0.0;
-    double denom = 0.0;
+    // Gather the in-radius neighborhood into SoA slices, evaluate the
+    // kernel profile k_i = w_i * phi(e_i) as one batch, then reduce in
+    // gather order — the same neighbor order and accumulation order as the
+    // former per-neighbor loop, so the scalar tier is bit-identical.
+    sc.x.clear();
+    sc.y.clear();
+    sc.ls.clear();
+    sc.w.clear();
     grid_.for_each_in_radius(positions, x, radius, [&](std::uint32_t i) {
       const double w = weights[i];
       if (w <= 0.0) return;
-      const double ls = std::log(strengths[i]);
-      const double e = 0.5 * (distance2(positions[i], x) / h2 + square(ls - s) / hs2);
-      // Gaussian profile exp(-e), or the Epanechnikov profile 1 - e/4.5
-      // (parabola hitting zero at the same 3-sigma truncation edge).
-      const double k = w * (gaussian ? std::exp(-e) : std::max(0.0, 1.0 - e / 4.5));
-      num_pos += k * positions[i];
-      num_s += k * ls;
-      denom += k;
+      sc.x.push_back(positions[i].x);
+      sc.y.push_back(positions[i].y);
+      sc.ls.push_back(log_strengths[i]);
+      sc.w.push_back(w);
     });
+    const std::size_t n = sc.x.size();
+    sc.profile.resize(n);
+    // Gaussian profile exp(-e), or the Epanechnikov profile 1 - e/4.5
+    // (parabola hitting zero at the same 3-sigma truncation edge).
+    ker.meanshift_profile(gaussian, x.x, x.y, s, h2, hs2, sc.x.data(), sc.y.data(),
+                          sc.ls.data(), sc.w.data(), sc.profile.data(), n);
+    Point2 num_pos{0.0, 0.0};
+    double num_s = 0.0;
+    double denom = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double k = sc.profile[j];
+      num_pos.x += k * sc.x[j];
+      num_pos.y += k * sc.y[j];
+      num_s += k * sc.ls[j];
+      denom += k;
+    }
     if (denom <= 0.0) return Mode{x, s, 0.0};  // seed stranded in empty space
 
     const Point2 new_pos = (1.0 / denom) * num_pos;
@@ -112,11 +154,17 @@ std::vector<SourceEstimate> MeanShiftEstimator::estimate(std::span<const Point2>
 
   grid_.rebuild(positions);
 
+  // log(strength) is re-read for every neighbor of every shift step; pay
+  // std::log once per particle up front (identical values — same libm call
+  // on the same inputs) and hand the ascents a precomputed array.
+  log_strengths_.resize(strengths.size());
+  for (std::size_t i = 0; i < strengths.size(); ++i) log_strengths_[i] = std::log(strengths[i]);
+
   const auto seeds = select_seeds(positions, weights);
   std::vector<Mode> modes(seeds.size());
   pool_->for_each_index(seeds.size(), [&](std::size_t k) {
     const auto i = seeds[k];
-    modes[k] = ascend(positions, strengths, weights, positions[i], std::log(strengths[i]));
+    modes[k] = ascend(positions, log_strengths_, weights, positions[i], log_strengths_[i]);
   });
 
   // Merge converged points: keep the densest representative of each cluster.

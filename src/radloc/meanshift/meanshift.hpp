@@ -90,13 +90,16 @@ class MeanShiftEstimator {
   };
 
   /// Runs the mean-shift iteration x <- M(x) (Eq. 7) from one seed.
-  [[nodiscard]] Mode ascend(std::span<const Point2> positions, std::span<const double> strengths,
+  /// `log_strengths` holds log(strengths[i]), precomputed by estimate().
+  [[nodiscard]] Mode ascend(std::span<const Point2> positions,
+                            std::span<const double> log_strengths,
                             std::span<const double> weights, Point2 seed_pos,
                             double seed_log_strength) const;
 
   MeanShiftConfig cfg_;
   ThreadPool* pool_;
   GridIndex grid_;
+  std::vector<double> log_strengths_;  ///< estimate() scratch (see ascend)
 };
 
 }  // namespace radloc

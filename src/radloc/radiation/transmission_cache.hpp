@@ -24,6 +24,8 @@
 
 #include "radloc/common/types.hpp"
 #include "radloc/radiation/environment.hpp"
+#include "radloc/simd/aligned.hpp"
+#include "radloc/simd/simd.hpp"
 
 namespace radloc {
 
@@ -33,7 +35,9 @@ class TransmissionCache {
   struct Field {
     Point2 origin;
     /// exp(-path_attenuation) node values, (nx+1) x (ny+1), row-major in y.
-    std::vector<double> transmission;
+    /// 32-byte-aligned so the batch bilinear kernel's gathers stream from
+    /// aligned rows (simd/aligned.hpp).
+    simd::AVector<double> transmission;
   };
 
   /// `cell_size` is the grid pitch over env.bounds() (smaller = more accurate,
@@ -64,6 +68,15 @@ class TransmissionCache {
   /// node values are exact exp(-path_attenuation). Targets outside the
   /// bounds clamp to the boundary node values.
   [[nodiscard]] double transmission(const Field& field, const Point2& target) const;
+
+  /// The field as a batch-kernel grid view (simd::Kernels::bilinear): one
+  /// batched call replays transmission() per target, bit-identically.
+  /// Borrows the field's node storage — same lifetime rules as `field`.
+  [[nodiscard]] simd::BilinearGrid grid_view(const Field& field) const {
+    return simd::BilinearGrid{field.transmission.data(), nx_,     ny_,
+                              env_->bounds().min.x,      env_->bounds().min.y,
+                              inv_dx_,                   inv_dy_};
+  }
 
   [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
   [[nodiscard]] std::size_t nodes_per_field() const { return (nx_ + 1) * (ny_ + 1); }

@@ -1,0 +1,68 @@
+// 32-byte-aligned storage for the SoA particle arrays and cache grids.
+//
+// The batch kernels (simd/simd.hpp) stream over contiguous double/Point2
+// arrays. They use unaligned loads — correct at any offset, since callers
+// hand them mid-array chunk slices — but keeping the *storage* 32-byte
+// aligned means full-width accesses never straddle an extra cache line and
+// aligned loads and unaligned loads hit the same fast path on every x86
+// generation that matters. Non-x86 builds keep the allocator too: it is
+// plain standard C++ (aligned operator new) with no intrinsics.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace radloc::simd {
+
+/// Widest vector the kernel tiers use (AVX2, 4 doubles).
+inline constexpr std::size_t kVectorAlign = 32;
+
+template <typename T, std::size_t Align = kVectorAlign>
+class AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment must not weaken the type's own");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > SIZE_MAX / sizeof(T)) throw std::bad_alloc();
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// std::vector whose buffer starts on a 32-byte boundary. Drop-in for the
+/// particle SoA arrays: spans, iterators and algorithms are unaffected.
+template <typename T>
+using AVector = std::vector<T, AlignedAllocator<T>>;
+
+[[nodiscard]] inline bool is_vector_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) % kVectorAlign) == 0;
+}
+
+/// Debug-build alignment check for buffers handed to the batch kernels.
+/// Empty vectors may have a null/unallocated data(), which is fine.
+inline void assert_vector_aligned([[maybe_unused]] const void* p) {
+  assert(p == nullptr || is_vector_aligned(p));
+}
+
+}  // namespace radloc::simd

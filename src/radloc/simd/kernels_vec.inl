@@ -1,0 +1,346 @@
+// Shared vector implementation of the batch kernels, included by the SSE2
+// and AVX2 translation units inside their tier namespace. The including TU
+// must first define:
+//
+//   struct VD { <native double vector> v; };   // kLanes doubles
+//   struct VI { <native int vector> v; };      // kLanes int64 lanes
+//   constexpr std::size_t kLanes; constexpr int kFullMask;
+//   vset1 vload vstore vadd vsub vmul vdiv vmax
+//   vcmp_gt vcmp_ge vcmp_lt vcmp_le (mask as VD) vblend(mask,a,b)
+//   vand vor vmovemask
+//   vcasti vcastd viadd visub viand vior viset1 visll visrl
+//   vmadd(a,b,c) = a*b + c — fused (FMA) on AVX2, mul+add on SSE2; used
+//   ONLY inside the log/exp polynomials, which are tier-divergent anyway,
+//   never in the kernels documented as exact across tiers.
+//
+// and include <algorithm> <cmath> <cstddef> <limits> beforehand.
+//
+// Design rules (see simd.hpp):
+// - Elementwise only: a value's result never depends on its lane position
+//   or on neighbors, and the remainder of a range is pushed through the
+//   same vector code via a padded tail — so results are invariant under
+//   any chunking of the range (thread-count determinism per tier).
+// - Special values (lambda <= 0, denormal, overflow range, NaN/inf) are
+//   detected per lane with exact predicates and patched with the scalar
+//   reference expression, which keeps edge semantics identical to the
+//   scalar tier; only the in-range log/exp polynomials differ (by ~1 ulp).
+
+// ---------------------------------------------------------------------------
+// int64 lanes -> double (valid for |value| < 2^51): magic-bias trick.
+inline VD int64_to_double(VI e) {
+  const VD magic = vset1(6755399441055744.0);  // 1.5 * 2^52
+  return vsub(vcastd(viadd(e, vcasti(magic))), magic);
+}
+
+// exp(x) for |x| < ~708 (callers patch the rest). Cody-Waite reduction
+// x = n*ln2 + r, Taylor on r in [-ln2/2, ln2/2], exact 2^n scaling.
+inline VD vexp_core(VD x) {
+  const VD magic = vset1(6755399441055744.0);
+  VD t = vadd(vmul(x, vset1(1.44269504088896340736)), magic);
+  const VI n_i = visub(vcasti(t), vcasti(magic));  // round-to-nearest(x * log2 e)
+  const VD n_d = vsub(t, magic);
+  VD r = vsub(x, vmul(n_d, vset1(6.93147180369123816490e-01)));  // ln2_hi
+  r = vsub(r, vmul(n_d, vset1(1.90821492927058770002e-10)));     // ln2_lo
+  VD p = vset1(1.0 / 6227020800.0);                              // 1/13!
+  p = vmadd(p, r, vset1(1.0 / 479001600.0));
+  p = vmadd(p, r, vset1(1.0 / 39916800.0));
+  p = vmadd(p, r, vset1(1.0 / 3628800.0));
+  p = vmadd(p, r, vset1(1.0 / 362880.0));
+  p = vmadd(p, r, vset1(1.0 / 40320.0));
+  p = vmadd(p, r, vset1(1.0 / 5040.0));
+  p = vmadd(p, r, vset1(1.0 / 720.0));
+  p = vmadd(p, r, vset1(1.0 / 120.0));
+  p = vmadd(p, r, vset1(1.0 / 24.0));
+  p = vmadd(p, r, vset1(1.0 / 6.0));
+  p = vmadd(p, r, vset1(0.5));
+  p = vmadd(p, r, vset1(1.0));
+  p = vmadd(p, r, vset1(1.0));
+  const VI scale = visll(viadd(n_i, viset1(1023)), 52);
+  return vmul(p, vcastd(scale));
+}
+
+// log(x) for positive normal finite x (callers patch the rest):
+// x = m * 2^e with m in [sqrt2/2, sqrt2), log m = 2 atanh((m-1)/(m+1)).
+inline VD vlog_core(VD x) {
+  const VI bits = vcasti(x);
+  VI e_i = visub(visrl(bits, 52), viset1(1022));  // m in [0.5, 1)
+  const VI mbits = vior(viand(bits, viset1(0x000FFFFFFFFFFFFFLL)),
+                        viset1(0x3FE0000000000000LL));  // exponent of 0.5
+  VD m = vcastd(mbits);
+  VD e_d = int64_to_double(e_i);
+  const VD small = vcmp_lt(m, vset1(0.70710678118654752440));
+  m = vblend(small, vadd(m, m), m);
+  e_d = vsub(e_d, vand(small, vset1(1.0)));
+  const VD one = vset1(1.0);
+  const VD s = vdiv(vsub(m, one), vadd(m, one));  // |s| <= 0.1716
+  const VD z = vmul(s, s);
+  VD p = vset1(2.0 / 19.0);
+  p = vmadd(p, z, vset1(2.0 / 17.0));
+  p = vmadd(p, z, vset1(2.0 / 15.0));
+  p = vmadd(p, z, vset1(2.0 / 13.0));
+  p = vmadd(p, z, vset1(2.0 / 11.0));
+  p = vmadd(p, z, vset1(2.0 / 9.0));
+  p = vmadd(p, z, vset1(2.0 / 7.0));
+  p = vmadd(p, z, vset1(2.0 / 5.0));
+  p = vmadd(p, z, vset1(2.0 / 3.0));
+  const VD log_m = vadd(vadd(s, s), vmul(vmul(s, z), p));
+  return vadd(vmul(e_d, vset1(6.93147180369123816490e-01)),
+              vadd(log_m, vmul(e_d, vset1(1.90821492927058770002e-10))));
+}
+
+// ---------------------------------------------------------------------------
+
+inline constexpr double kVecNegInf = -std::numeric_limits<double>::infinity();
+inline constexpr double kVecDblMin = 2.2250738585072014e-308;  // smallest normal
+inline constexpr double kVecDblMax = 1.7976931348623157e308;
+
+// Scalar reference for patched lanes — identical to the scalar tier.
+inline double poisson_one_ref(double k, double log_k_factorial, double lambda) {
+  if (lambda <= 0.0) {
+    return k == 0.0 ? 0.0 : kVecNegInf;
+  }
+  return k * std::log(lambda) - lambda - log_k_factorial;
+}
+
+inline void k_poisson_log_pmf(double k, double log_k_factorial, const double* lambda, double* out,
+                              std::size_t n) {
+  if (k < 0.0) {
+    std::fill(out, out + n, kVecNegInf);
+    return;
+  }
+  const VD vk = vset1(k);
+  const VD vc = vset1(log_k_factorial);
+  const VD tiny = vset1(kVecDblMin);
+  const VD big = vset1(kVecDblMax);
+  // `out` may alias `lambda` (the filter scores rates in place), so bad
+  // lanes save their inputs before the vector store clobbers them.
+  const auto run = [&](const double* lam, double* o) {
+    const VD l = vload(lam);
+    const VD ok = vand(vcmp_ge(l, tiny), vcmp_le(l, big));
+    const int bad = ~vmovemask(ok) & kFullMask;
+    double orig[kLanes];
+    if (bad != 0) vstore(orig, l);
+    vstore(o, vsub(vsub(vmul(vk, vlog_core(l)), l), vc));
+    if (bad != 0) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        if ((bad >> j) & 1) o[j] = poisson_one_ref(k, log_k_factorial, orig[j]);
+      }
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) run(lambda + i, out + i);
+  if (i < n) {
+    double tl[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) tl[j] = j < r ? lambda[i + j] : 1.0;
+    run(tl, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}
+
+inline void k_poisson_log_pmf_multi(const double* k, const double* log_k_factorial,
+                                    const double* lambda, double* out, std::size_t n) {
+  const VD tiny = vset1(kVecDblMin);
+  const VD big = vset1(kVecDblMax);
+  const VD zero = vset1(0.0);
+  // `out` may alias `lambda` (never `k`/`log_k_factorial`); bad lanes save
+  // their lambda before the vector store clobbers it.
+  const auto run = [&](const double* kk, const double* cc, const double* lam, double* o) {
+    const VD l = vload(lam);
+    const VD vk = vload(kk);
+    const VD ok = vand(vand(vcmp_ge(l, tiny), vcmp_le(l, big)), vcmp_ge(vk, zero));
+    const int bad = ~vmovemask(ok) & kFullMask;
+    double orig[kLanes];
+    if (bad != 0) vstore(orig, l);
+    vstore(o, vsub(vsub(vmul(vk, vlog_core(l)), l), vload(cc)));
+    if (bad != 0) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        if ((bad >> j) & 1) {
+          o[j] = kk[j] < 0.0 ? kVecNegInf : poisson_one_ref(kk[j], cc[j], orig[j]);
+        }
+      }
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    run(k + i, log_k_factorial + i, lambda + i, out + i);
+  }
+  if (i < n) {
+    double tk[kLanes];
+    double tc[kLanes];
+    double tl[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      tk[j] = j < r ? k[i + j] : 0.0;
+      tc[j] = j < r ? log_k_factorial[i + j] : 0.0;
+      tl[j] = j < r ? lambda[i + j] : 1.0;
+    }
+    run(tk, tc, tl, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}
+
+inline void k_hypothesis_rates(double ax, double ay, double scale, double background,
+                               const double* x, const double* y, const double* strength,
+                               const double* transmission, double* out, std::size_t n) {
+  const VD vax = vset1(ax);
+  const VD vay = vset1(ay);
+  const VD vs = vset1(scale);
+  const VD vb = vset1(background);
+  const VD one = vset1(1.0);
+  const auto run = [&](const double* xp, const double* yp, const double* sp, const double* tp,
+                       double* o) {
+    const VD dx = vsub(vax, vload(xp));
+    const VD dy = vsub(vay, vload(yp));
+    // Exact seed association: strength / (1.0 + (dx*dx + dy*dy)).
+    const VD fs = vdiv(vload(sp), vadd(one, vadd(vmul(dx, dx), vmul(dy, dy))));
+    if (tp != nullptr) {
+      vstore(o, vadd(vmul(vmul(vs, fs), vload(tp)), vb));
+    } else {
+      vstore(o, vadd(vmul(vs, fs), vb));
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    run(x + i, y + i, strength + i, transmission != nullptr ? transmission + i : nullptr,
+        out + i);
+  }
+  if (i < n) {
+    double tx[kLanes];
+    double ty[kLanes];
+    double ts[kLanes];
+    double tt[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      tx[j] = j < r ? x[i + j] : ax;
+      ty[j] = j < r ? y[i + j] : ay;
+      ts[j] = j < r ? strength[i + j] : 0.0;
+      tt[j] = transmission != nullptr && j < r ? transmission[i + j] : 0.0;
+    }
+    run(tx, ty, ts, transmission != nullptr ? tt : nullptr, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}
+
+inline double k_max_value(const double* v, std::size_t n) {
+  double m = kVecNegInf;
+  std::size_t i = 0;
+  if (n >= kLanes) {
+    // `if (v > m) m = v` lane-wise: NaNs never replace m. Max is exact,
+    // associative and commutative under these semantics, so the lane split
+    // and reduction order cannot change the result.
+    VD acc = vset1(kVecNegInf);
+    for (; i + kLanes <= n; i += kLanes) {
+      const VD val = vload(v + i);
+      acc = vblend(vcmp_gt(val, acc), val, acc);
+    }
+    double lanes[kLanes];
+    vstore(lanes, acc);
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      if (lanes[j] > m) m = lanes[j];
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] > m) m = v[i];
+  }
+  return m;
+}
+
+inline void k_exp_shifted(const double* v, double shift, double* out, std::size_t n) {
+  const VD vsft = vset1(shift);
+  const VD lo = vset1(-708.0);
+  const VD hi = vset1(708.0);
+  const auto run = [&](const double* vp, double* o) {
+    const VD a = vsub(vload(vp), vsft);
+    const VD ok = vand(vcmp_gt(a, lo), vcmp_lt(a, hi));
+    const int bad = ~vmovemask(ok) & kFullMask;
+    // `out` may alias `v` (in-place renormalization); bad lanes save their
+    // inputs before the vector store clobbers them.
+    double orig[kLanes];
+    if (bad != 0) vstore(orig, vload(vp));
+    vstore(o, vexp_core(a));
+    if (bad != 0) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        if ((bad >> j) & 1) o[j] = std::exp(orig[j] - shift);
+      }
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) run(v + i, out + i);
+  if (i < n) {
+    double tv[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) tv[j] = j < r ? v[i + j] : shift;
+    run(tv, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}
+
+inline void k_meanshift_profile(bool gaussian, double cx, double cy, double s, double h2,
+                                double hs2, const double* x, const double* y,
+                                const double* log_strength, const double* w, double* out,
+                                std::size_t n) {
+  const VD vcx = vset1(cx);
+  const VD vcy = vset1(cy);
+  const VD vcs = vset1(s);
+  const VD vh2 = vset1(h2);
+  const VD vhs2 = vset1(hs2);
+  const VD half = vset1(0.5);
+  const VD zero = vset1(0.0);
+  const VD one = vset1(1.0);
+  const VD cap = vset1(708.0);
+  const auto run = [&](const double* xp, const double* yp, const double* lsp, const double* wp,
+                       double* o) {
+    const VD dx = vsub(vload(xp), vcx);
+    const VD dy = vsub(vload(yp), vcy);
+    const VD dls = vsub(vload(lsp), vcs);
+    // Exact seed association: 0.5 * (d2 / h2 + (ls - s)^2 / hs2).
+    const VD e = vmul(half, vadd(vdiv(vadd(vmul(dx, dx), vmul(dy, dy)), vh2),
+                                 vdiv(vmul(dls, dls), vhs2)));
+    const VD vw = vload(wp);
+    if (gaussian) {
+      const VD ok = vand(vcmp_ge(e, zero), vcmp_lt(e, cap));
+      vstore(o, vmul(vw, vexp_core(vsub(zero, e))));
+      const int bad = ~vmovemask(ok) & kFullMask;
+      if (bad != 0) {
+        for (std::size_t j = 0; j < kLanes; ++j) {
+          if ((bad >> j) & 1) {
+            const double sdx = xp[j] - cx;
+            const double sdy = yp[j] - cy;
+            const double sdls = lsp[j] - s;
+            const double se = 0.5 * ((sdx * sdx + sdy * sdy) / h2 + sdls * sdls / hs2);
+            o[j] = wp[j] * std::exp(-se);
+          }
+        }
+      }
+    } else {
+      // Exact arithmetic; vmax(t, 0) matches std::max(0.0, t) incl. NaN->0.
+      const VD t = vsub(one, vdiv(e, vset1(4.5)));
+      vstore(o, vmul(vw, vmax(t, zero)));
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    run(x + i, y + i, log_strength + i, w + i, out + i);
+  }
+  if (i < n) {
+    double tx[kLanes];
+    double ty[kLanes];
+    double tls[kLanes];
+    double tw[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      tx[j] = j < r ? x[i + j] : cx;
+      ty[j] = j < r ? y[i + j] : cy;
+      tls[j] = j < r ? log_strength[i + j] : s;
+      tw[j] = j < r ? w[i + j] : 0.0;
+    }
+    run(tx, ty, tls, tw, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}

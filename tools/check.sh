@@ -7,6 +7,12 @@
 #
 # The release stage's ctest includes the `benchsmoke` label (every bench
 # binary in --smoke mode); pass `benchsmoke` as a stage to run only those.
+# The benchsmoke stage runs the label twice — once pinned to the portable
+# scalar SIMD tier (RADLOC_SIMD=scalar) and once with the knob unset so the
+# dispatcher picks the host's best tier — then diffs the fresh bench JSON
+# against the committed baselines with tools/bench_compare.py
+# (informational: smoke numbers are noisy, so regressions never fail the
+# gauntlet here; run bench_compare.py --strict by hand on full runs).
 #
 # Each stage is a CMake preset (see CMakePresets.json); build trees land in
 # build/<preset>. The script stops at the first failing stage.
@@ -33,7 +39,18 @@ for stage in "${stages[@]}"; do
   echo "==> [$stage] build"
   cmake --build --preset "$build_preset" -j "$jobs"
   echo "==> [$stage] ctest"
-  ctest --preset "$stage" -j "$jobs"
+  if [ "$stage" = benchsmoke ]; then
+    # Both SIMD dispatch paths: forced-scalar (the bit-identical default
+    # tier) and env-unset (host's detected tier, e.g. AVX2 on x86).
+    echo "==> [$stage] pass 1/2: RADLOC_SIMD=scalar"
+    RADLOC_SIMD=scalar ctest --preset "$stage" -j "$jobs"
+    echo "==> [$stage] pass 2/2: RADLOC_SIMD unset (host tier)"
+    env -u RADLOC_SIMD ctest --preset "$stage" -j "$jobs"
+    echo "==> [$stage] bench_compare vs committed baselines (informational)"
+    python3 tools/bench_compare.py --fresh-dir "build/$build_preset/bench" || true
+  else
+    ctest --preset "$stage" -j "$jobs"
+  fi
   echo "==> [$stage] OK"
 done
 
