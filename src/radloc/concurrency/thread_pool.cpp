@@ -55,17 +55,26 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::in_pool_work() const { return tls_active_pool == this; }
 
 void ThreadPool::execute(Job& job) {
+  // A job that throws must not unwind a worker thread (std::terminate) and
+  // must still retire on its Sync — a lost decrement would hang the wave's
+  // waiter forever. Capture the exception; the wave's wait point rethrows.
+  std::exception_ptr err;
   {
     const ActivePoolScope scope(this);
-    if (job.chunk != nullptr) {
-      (*job.chunk)(job.begin, job.end);
-    } else {
-      job.owned();
+    try {
+      if (job.chunk != nullptr) {
+        (*job.chunk)(job.begin, job.end);
+      } else {
+        job.owned();
+      }
+    } catch (...) {
+      err = std::current_exception();
     }
   }
   bool done = false;
   {
     const std::lock_guard lock(mu_);
+    if (err != nullptr && job.sync->error == nullptr) job.sync->error = err;
     done = (--job.sync->remaining == 0);
   }
   // Outside the lock: the waiter re-checks its predicate under the mutex, so
@@ -88,6 +97,11 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_for(Sync& sync) {
+  std::exception_ptr err = wait_for_collect(sync);
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+std::exception_ptr ThreadPool::wait_for_collect(Sync& sync) {
   std::unique_lock lock(mu_);
   while (sync.remaining > 0) {
     if (!queue_.empty()) {
@@ -104,6 +118,14 @@ void ThreadPool::wait_for(Sync& sync) {
     }
     cv_.wait(lock, [this, &sync] { return sync.remaining == 0 || !queue_.empty(); });
   }
+  // Hand the wave's first error to the caller and clear it so the Sync (a
+  // reused TaskGroup's, say) starts the next wave clean.
+  return std::exchange(sync.error, nullptr);
+}
+
+void ThreadPool::record_error(Sync& sync, std::exception_ptr err) {
+  const std::lock_guard lock(mu_);
+  if (sync.error == nullptr) sync.error = std::move(err);
 }
 
 void ThreadPool::TaskGroup::run(std::function<void()> fn) {
@@ -111,8 +133,14 @@ void ThreadPool::TaskGroup::run(std::function<void()> fn) {
   if (pool.workers_.empty()) {
     // No workers: execute inline immediately — the serial baseline. The
     // nesting marker still applies so inner parallel_for calls stay inline.
+    // The exception contract is the same as the queued path: run() returns
+    // normally, the first captured exception surfaces at wait().
     const ActivePoolScope scope(&pool);
-    fn();
+    try {
+      fn();
+    } catch (...) {
+      pool.record_error(sync_, std::current_exception());
+    }
     return;
   }
   {
@@ -132,6 +160,8 @@ void ThreadPool::parallel_for(std::size_t n,
   // Nesting / oversubscription guard: inside pool work, run the whole range
   // inline. Outer tasks already occupy the threads; fanning out here would
   // only queue-shuffle the same cores, and blocking for it could deadlock.
+  // An exception propagates directly to the caller here — same observable
+  // contract as the fanned-out path (rethrow at the parallel_for call site).
   if (in_pool_work()) {
     chunk_fn(0, n);
     return;
@@ -172,12 +202,20 @@ void ThreadPool::parallel_for(std::size_t n,
 
   {
     const ActivePoolScope scope(this);
-    chunk_fn(0, own_end);
+    try {
+      chunk_fn(0, own_end);
+    } catch (...) {
+      // Must NOT unwind yet: the queued jobs borrow chunk_fn and sync from
+      // this stack frame, so returning before they retire would hand the
+      // workers dangling pointers. Record the error and fall through to the
+      // wait; it rethrows once the wave has drained.
+      record_error(sync, std::current_exception());
+    }
   }
 
   // Help drain the queue instead of idling: when workers are slow to wake
   // (or the host exposes fewer cores than the pool has threads) the caller
-  // executes the remaining chunks itself.
+  // executes the remaining chunks itself. Rethrows the wave's first error.
   wait_for(sync);
 }
 

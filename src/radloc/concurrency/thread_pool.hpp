@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -51,8 +52,15 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n); blocks until all iterations finish. The
   /// range is split into contiguous chunks, one per thread (iterations
   /// should be of comparable cost — true for mean-shift seeds and particle
-  /// weighting). Called from inside pool work it runs inline on the calling
-  /// thread (see the nesting policy above). fn must not throw.
+  /// weighting).  Called from inside pool work it runs inline on the calling
+  /// thread (see the nesting policy above).
+  ///
+  /// Exception safety: a throwing chunk never escapes a worker thread (which
+  /// would std::terminate the process). The FIRST exception of the wave is
+  /// captured; the remaining chunks still run (one failure does not cancel
+  /// the wave — chunks are independent by contract), and the exception is
+  /// rethrown here, at the call site, once every chunk has retired. The pool
+  /// stays fully usable afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& chunk_fn);
 
   /// Element-wise convenience over the chunked form.
@@ -71,9 +79,11 @@ class ThreadPool {
  private:
   /// Completion state for one wave of jobs (one parallel_for call or one
   /// TaskGroup). Guarded by the owning pool's mutex; waiters block on the
-  /// pool-wide condition variable.
+  /// pool-wide condition variable. `error` holds the first exception thrown
+  /// by any job of the wave, to be rethrown at the wave's wait point.
   struct Sync {
     std::size_t remaining = 0;
+    std::exception_ptr error;
   };
 
   /// A queued unit of work: either an owned closure (TaskGroup submission)
@@ -93,7 +103,14 @@ class ThreadPool {
   /// submitted task finished — stealing queued pool work while it waits, so
   /// a group waiting inside pool work can never stall the pool. On a pool
   /// with no workers (num_threads <= 1) run() executes the task inline on
-  /// the caller, preserving the serial baseline. Tasks must not throw.
+  /// the caller, preserving the serial baseline.
+  ///
+  /// Exception safety: a throwing task never escapes a worker (or run(), on
+  /// the inline path). The group's first exception is captured and rethrown
+  /// by wait(), after every submitted task retired; the other tasks still
+  /// run and the group/pool stay usable. The destructor waits but swallows
+  /// an unobserved exception (destructors must not throw) — call wait() to
+  /// observe failures.
   ///
   /// A TaskGroup is owned by one submitting thread: run()/wait() are not
   /// themselves thread-safe (the tasks, of course, run concurrently).
@@ -102,7 +119,10 @@ class ThreadPool {
     explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
     TaskGroup(const TaskGroup&) = delete;
     TaskGroup& operator=(const TaskGroup&) = delete;
-    ~TaskGroup() { wait(); }
+    ~TaskGroup() {
+      // Wait without rethrowing: a throwing destructor would terminate.
+      pool_->wait_for_collect(sync_);
+    }
 
     void run(std::function<void()> fn);
     void wait() { pool_->wait_for(sync_); }
@@ -115,10 +135,16 @@ class ThreadPool {
  private:
   void worker_loop();
   /// Runs the job with the nesting marker set, then retires it on its Sync.
+  /// A throwing job body is caught and recorded as the Sync's first error.
   void execute(Job& job);
   /// Blocks until sync.remaining == 0, executing queued jobs while any are
-  /// available (work-stealing wait).
+  /// available (work-stealing wait); rethrows the wave's captured exception.
   void wait_for(Sync& sync);
+  /// wait_for, but returns the captured exception (cleared from the Sync)
+  /// instead of throwing — the destructor-safe variant.
+  std::exception_ptr wait_for_collect(Sync& sync);
+  /// Records `err` as sync's first error (first writer wins). Thread-safe.
+  void record_error(Sync& sync, std::exception_ptr err);
 
   std::vector<std::thread> workers_;
   std::size_t hw_threads_ = 1;  ///< host core count; caps parallel_for fan-out

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "radloc/common/math.hpp"
@@ -50,7 +52,35 @@ ReadingFault MultiSourceLocalizer::try_process(const Measurement& m) {
 }
 
 void MultiSourceLocalizer::process_all(std::span<const Measurement> batch) {
+  // Validate the whole batch up front: a malformed reading mid-batch used to
+  // throw out of the loop with the earlier readings already applied and no
+  // record of progress. Now the throw happens before any state changes.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ReadingFault fault = filter_.validator().check(batch[i]);
+    if (fault != ReadingFault::kNone) {
+      throw std::invalid_argument(std::string(to_string(fault)) + " (batch index " +
+                                  std::to_string(i) + ")");
+    }
+  }
   for (const auto& m : batch) process(m);
+}
+
+BatchIngestResult MultiSourceLocalizer::try_process_all(
+    std::span<const Measurement> batch,
+    const std::function<void(std::size_t, ReadingFault)>& on_reading) {
+  BatchIngestResult result;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ReadingFault fault = try_process(batch[i]);
+    if (fault == ReadingFault::kNone) {
+      ++result.processed;
+    } else {
+      ++result.rejected;
+      ++result.fault_counts[static_cast<std::size_t>(fault)];
+      if (result.first_fault == ReadingFault::kNone) result.first_fault = fault;
+    }
+    if (on_reading) on_reading(i, fault);
+  }
+  return result;
 }
 
 double MultiSourceLocalizer::detection_evidence(

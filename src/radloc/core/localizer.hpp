@@ -13,7 +13,9 @@
 //     use(e.pos, e.strength, e.support);
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -22,8 +24,27 @@
 #include "radloc/meanshift/meanshift.hpp"
 #include "radloc/radiation/environment.hpp"
 #include "radloc/sensornet/sensor.hpp"
+#include "radloc/sensornet/validation.hpp"
 
 namespace radloc {
+
+/// Outcome of a non-throwing batch ingest (try_process_all): every reading
+/// was validated, the well-formed ones were applied in order, the malformed
+/// ones were tallied per fault kind. `processed + rejected` always equals
+/// the batch size — a batch is never half-accounted.
+struct BatchIngestResult {
+  std::size_t processed = 0;  ///< well-formed readings applied to the filter
+  std::size_t rejected = 0;   ///< malformed readings skipped (and tallied)
+  /// Per-fault reject tallies for THIS batch (index by ReadingFault).
+  std::array<std::size_t, kReadingFaultCount> fault_counts{};
+  /// First fault encountered, kNone when the whole batch was well-formed.
+  ReadingFault first_fault = ReadingFault::kNone;
+
+  [[nodiscard]] bool clean() const { return rejected == 0; }
+  [[nodiscard]] std::size_t count(ReadingFault fault) const {
+    return fault_counts[static_cast<std::size_t>(fault)];
+  }
+};
 
 struct LocalizerConfig {
   FilterConfig filter;
@@ -78,7 +99,23 @@ class MultiSourceLocalizer {
   ReadingFault try_process(const Measurement& m);
 
   /// Feeds a batch in the given order (convenience for one time step).
+  /// All-or-nothing on malformed input: the whole batch is validated BEFORE
+  /// anything is applied, so a bad reading mid-batch throws
+  /// std::invalid_argument (naming the fault and the offending index) with
+  /// the filter state untouched — never half a batch applied with no record
+  /// of progress. Feeds that expect malformed readings should use
+  /// try_process_all instead.
   void process_all(std::span<const Measurement> batch);
+
+  /// Non-throwing batch ingestion — the streaming-service drain path:
+  /// validates every reading, applies the well-formed ones in batch order,
+  /// tallies each malformed one per fault kind, and reports the outcome.
+  /// `on_reading`, when set, is invoked after each reading's verdict (index,
+  /// fault) — the hook the service layer uses to stamp per-reading latency
+  /// without a second pass.
+  BatchIngestResult try_process_all(
+      std::span<const Measurement> batch,
+      const std::function<void(std::size_t, ReadingFault)>& on_reading = nullptr);
 
   /// Runs mean-shift over the current particle cloud, validates each mode
   /// against the background-only hypothesis (detection_log_lr), and returns

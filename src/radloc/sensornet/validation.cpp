@@ -17,6 +17,10 @@ const char* to_string(ReadingFault fault) {
       return "CPM reading must be non-negative";
     case ReadingFault::kNonFinitePosition:
       return "reading position must be finite (got NaN or inf coordinate)";
+    case ReadingFault::kNonFiniteTimestamp:
+      return "reading timestamp must be finite (got NaN or inf)";
+    case ReadingFault::kNegativeTimestamp:
+      return "reading timestamp must be non-negative";
   }
   return "unknown reading fault";
 }
@@ -45,6 +49,18 @@ ReadingFault MeasurementValidator::check_reading(const Point2& at, double cpm) c
   return check_cpm(cpm);
 }
 
+ReadingFault MeasurementValidator::check_timestamp(double timestamp) {
+  if (!std::isfinite(timestamp)) return ReadingFault::kNonFiniteTimestamp;
+  if (timestamp < 0.0) return ReadingFault::kNegativeTimestamp;
+  return ReadingFault::kNone;
+}
+
+ReadingFault MeasurementValidator::check_timed(const Measurement& m, double timestamp) const {
+  const ReadingFault time_fault = check_timestamp(timestamp);
+  if (time_fault != ReadingFault::kNone) return time_fault;
+  return check(m);
+}
+
 ReadingFault MeasurementValidator::admit(const Measurement& m) {
   const ReadingFault fault = check(m);
   ++counts_[static_cast<std::size_t>(fault)];
@@ -53,6 +69,12 @@ ReadingFault MeasurementValidator::admit(const Measurement& m) {
 
 ReadingFault MeasurementValidator::admit_reading(const Point2& at, double cpm) {
   const ReadingFault fault = check_reading(at, cpm);
+  ++counts_[static_cast<std::size_t>(fault)];
+  return fault;
+}
+
+ReadingFault MeasurementValidator::admit_timed(const Measurement& m, double timestamp) {
+  const ReadingFault fault = check_timed(m, timestamp);
   ++counts_[static_cast<std::size_t>(fault)];
   return fault;
 }

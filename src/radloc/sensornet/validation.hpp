@@ -24,13 +24,15 @@ namespace radloc {
 /// Why a reading was rejected at ingestion. kNone means well-formed.
 enum class ReadingFault : std::uint8_t {
   kNone = 0,
-  kUnknownSensor,      ///< sensor id outside the known deployment
-  kNonFiniteCpm,       ///< NaN or infinite count rate
-  kNegativeCpm,        ///< count rates cannot be negative
-  kNonFinitePosition,  ///< mobile reading taken at a NaN/inf position
+  kUnknownSensor,       ///< sensor id outside the known deployment
+  kNonFiniteCpm,        ///< NaN or infinite count rate
+  kNegativeCpm,         ///< count rates cannot be negative
+  kNonFinitePosition,   ///< mobile reading taken at a NaN/inf position
+  kNonFiniteTimestamp,  ///< NaN or infinite timestamp on a timed reading
+  kNegativeTimestamp,   ///< timestamps are offsets from stream start; < 0 is malformed
 };
 
-inline constexpr std::size_t kReadingFaultCount = 5;
+inline constexpr std::size_t kReadingFaultCount = 7;
 
 /// Human-readable fault description (stable, suitable for error messages).
 [[nodiscard]] const char* to_string(ReadingFault fault);
@@ -56,9 +58,20 @@ class MeasurementValidator {
   /// Verdict for a position-stamped reading (mobile detector).
   [[nodiscard]] ReadingFault check_reading(const Point2& at, double cpm) const;
 
-  /// check()/check_reading() + verdict tally.
+  /// Verdict for a timestamp alone. A NaN timestamp is the nastiest of the
+  /// three: fed into a comparison-based drain order it breaks strict weak
+  /// ordering (every comparison is false), which is UB for std::sort — so
+  /// timed ingest paths must reject it before any ordering decision.
+  [[nodiscard]] static ReadingFault check_timestamp(double timestamp);
+
+  /// Verdict for a timed reading (streaming ingest): the timestamp is
+  /// checked first, then the measurement itself.
+  [[nodiscard]] ReadingFault check_timed(const Measurement& m, double timestamp) const;
+
+  /// check()/check_reading()/check_timed() + verdict tally.
   ReadingFault admit(const Measurement& m);
   ReadingFault admit_reading(const Point2& at, double cpm);
+  ReadingFault admit_timed(const Measurement& m, double timestamp);
 
   /// Throws std::invalid_argument carrying to_string(fault) unless kNone.
   static void enforce(ReadingFault fault);

@@ -1,0 +1,259 @@
+#include "radloc/service/session_manager.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace radloc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microseconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Percentile over an unordered sample copy (nearest-rank).
+double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+struct SessionManager::Session {
+  Session(const Environment& env, std::vector<Sensor> sensors, SessionConfig config,
+          std::uint64_t seed, ThreadPool* pool)
+      : cfg(config),
+        localizer(env, std::move(sensors), config.localizer, seed, pool),
+        validator(localizer.filter().sensors().size()) {}
+
+  SessionConfig cfg;
+  MultiSourceLocalizer localizer;
+
+  /// Queue + counters + latency window. Held only for O(1) operations so
+  /// ingest stays cheap while a drain is in flight.
+  mutable std::mutex mu;
+  MeasurementValidator validator;  ///< ingest-time tallies (guarded by mu)
+  std::deque<SessionReading> queue;
+  std::size_t ingested = 0;
+  std::size_t processed = 0;
+  std::size_t applied = 0;
+  std::size_t rejected_full = 0;
+  std::size_t dropped_oldest = 0;
+  // Sliding latency window: a ring of the most recent per-reading drain
+  // latencies (µs). head is the next overwrite slot once the ring is full.
+  std::vector<double> latency_us;
+  std::size_t latency_head = 0;
+
+  /// Serializes drains (and estimates) of this session, so one session's
+  /// readings never apply concurrently or out of queue order. Distinct from
+  /// `mu` so a long drain never blocks ingests.
+  std::mutex drain_mu;
+  // Drain scratch, reused across drains (guarded by drain_mu).
+  std::vector<SessionReading> backlog;
+  std::vector<Measurement> batch;
+  std::vector<double> batch_latency_us;
+};
+
+SessionManager::SessionId SessionManager::open(const Environment& env,
+                                               std::vector<Sensor> sensors, SessionConfig cfg,
+                                               std::uint64_t seed) {
+  if (cfg.queue_capacity == 0) {
+    throw std::invalid_argument("session queue capacity must be at least 1");
+  }
+  auto session = std::make_shared<Session>(env, std::move(sensors), cfg, seed, pool_);
+  const std::lock_guard lock(mu_);
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+bool SessionManager::close(SessionId id) {
+  std::shared_ptr<Session> victim;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // `victim` destructs here (or when the last concurrent borrower drops its
+  // reference — shared_ptr keeps racing ingests/stats on a just-closed
+  // session memory-safe; their writes simply die with the session).
+  return true;
+}
+
+std::size_t SessionManager::num_sessions() const {
+  const std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find(SessionId id) const {
+  const std::lock_guard lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("unknown session id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+IngestStatus SessionManager::ingest(SessionId id, const SessionReading& reading) {
+  const std::shared_ptr<Session> s = find(id);
+  const std::lock_guard lock(s->mu);
+  const ReadingFault fault = s->validator.admit_timed(reading.m, reading.timestamp);
+  if (fault != ReadingFault::kNone) return IngestStatus::kRejectedMalformed;
+  if (s->queue.size() >= s->cfg.queue_capacity) {
+    if (s->cfg.backpressure == BackpressurePolicy::kRejectNewest) {
+      ++s->rejected_full;
+      return IngestStatus::kRejectedFull;
+    }
+    s->queue.pop_front();
+    ++s->dropped_oldest;
+    s->queue.push_back(reading);
+    ++s->ingested;
+    return IngestStatus::kQueuedDroppedOldest;
+  }
+  s->queue.push_back(reading);
+  ++s->ingested;
+  return IngestStatus::kQueued;
+}
+
+std::size_t SessionManager::drain_session(Session& s) {
+  // One drainer per session at a time: within a session, readings apply
+  // strictly in queue order on a single thread — the determinism contract.
+  const std::lock_guard drain_lock(s.drain_mu);
+  {
+    const std::lock_guard lock(s.mu);
+    s.backlog.assign(s.queue.begin(), s.queue.end());
+    s.queue.clear();
+  }
+  if (s.backlog.empty()) return 0;
+
+  if (s.cfg.drain_order == DrainOrder::kTimestamp) {
+    // Safe comparator: ingest validation already rejected NaN timestamps
+    // (a NaN here would break strict weak ordering — UB for sort).
+    std::stable_sort(s.backlog.begin(), s.backlog.end(),
+                     [](const SessionReading& a, const SessionReading& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+
+  s.batch.clear();
+  for (const SessionReading& r : s.backlog) s.batch.push_back(r.m);
+
+  // Per-reading latency from callback deltas: one clock read per reading,
+  // charged to the reading that just finished (validation + filter work).
+  s.batch_latency_us.clear();
+  Clock::time_point prev = Clock::now();
+  const BatchIngestResult result =
+      s.localizer.try_process_all(s.batch, [&s, &prev](std::size_t, ReadingFault) {
+        const Clock::time_point now = Clock::now();
+        s.batch_latency_us.push_back(microseconds_between(prev, now));
+        prev = now;
+      });
+
+  const std::size_t drained = s.batch.size();
+  {
+    const std::lock_guard lock(s.mu);
+    s.processed += drained;
+    s.applied += result.processed;
+    for (const double us : s.batch_latency_us) {
+      if (s.latency_us.size() < s.cfg.latency_window) {
+        s.latency_us.push_back(us);
+      } else {
+        s.latency_us[s.latency_head] = us;
+        s.latency_head = (s.latency_head + 1) % s.cfg.latency_window;
+      }
+    }
+  }
+  return drained;
+}
+
+std::size_t SessionManager::drain(SessionId id) { return drain_session(*find(id)); }
+
+std::size_t SessionManager::drain_all() {
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    const std::lock_guard lock(mu_);
+    snapshot.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) snapshot.push_back(s);
+  }
+  std::atomic<std::size_t> total{0};
+  {
+    // group.wait() (via ~TaskGroup on the throw path) lets every drain
+    // retire before the first exception propagates out of drain_all().
+    ThreadPool::TaskGroup group(*pool_);
+    for (const std::shared_ptr<Session>& s : snapshot) {
+      // Skip empty sessions without scheduling: idle tenants are the common
+      // case in a many-session server, and a task per idle session is pure
+      // queue pressure.
+      bool has_backlog = false;
+      {
+        const std::lock_guard lock(s->mu);
+        has_backlog = !s->queue.empty();
+      }
+      if (!has_backlog) continue;
+      group.run([this, s, &total] { total.fetch_add(drain_session(*s)); });
+    }
+    group.wait();
+  }
+  return total.load();
+}
+
+SessionStats SessionManager::stats(SessionId id) const {
+  const std::shared_ptr<Session> s = find(id);
+  SessionStats out;
+  std::vector<double> samples;
+  {
+    const std::lock_guard lock(s->mu);
+    out.queue_depth = s->queue.size();
+    out.ingested = s->ingested;
+    out.processed = s->processed;
+    out.applied = s->applied;
+    out.rejected_full = s->rejected_full;
+    out.dropped_oldest = s->dropped_oldest;
+    out.rejected_malformed = s->validator.rejected();
+    for (std::size_t f = 0; f < kReadingFaultCount; ++f) {
+      out.faults[f] = s->validator.count(static_cast<ReadingFault>(f));
+    }
+    // Every reading the service applied is exactly one filter iteration, so
+    // the counter can come from the mu-guarded tally — reading
+    // localizer.iterations() here would race an in-flight drain.
+    out.filter_iterations = s->applied;
+    samples = s->latency_us;
+  }
+  out.latency_samples = samples.size();
+  out.p50_latency_us = percentile(samples, 0.50);
+  out.p99_latency_us = percentile(samples, 0.99);
+  return out;
+}
+
+std::vector<SourceEstimate> SessionManager::estimate(SessionId id) {
+  const std::shared_ptr<Session> s = find(id);
+  const std::lock_guard drain_lock(s->drain_mu);
+  return s->localizer.estimate();
+}
+
+const MultiSourceLocalizer& SessionManager::localizer(SessionId id) const {
+  return find(id)->localizer;
+}
+
+const char* to_string(IngestStatus status) {
+  switch (status) {
+    case IngestStatus::kQueued: return "queued";
+    case IngestStatus::kQueuedDroppedOldest: return "queued (dropped oldest)";
+    case IngestStatus::kRejectedMalformed: return "rejected (malformed)";
+    case IngestStatus::kRejectedFull: return "rejected (queue full)";
+  }
+  return "unknown";
+}
+
+}  // namespace radloc

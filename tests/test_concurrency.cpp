@@ -195,6 +195,125 @@ TEST(TaskGroup, GroupReusableAfterWait) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Exception propagation (DESIGN.md §5.6/§5.8): an exception thrown inside a
+// parallel_for chunk or TaskGroup task must not escape a worker thread (that
+// would std::terminate the process). The pool captures the FIRST exception of
+// a wave and rethrows it at the parallel_for return / TaskGroup::wait() call
+// site; the remaining jobs of the wave still run and the pool stays usable.
+// Before the fix these tests died with "terminate called after throwing ...".
+
+TEST(ThreadPoolException, ParallelForRethrowsWorkerChunkException) {
+  ThreadPool pool(4, 4);
+  EXPECT_THROW(
+      pool.for_each_index(256,
+                          [](std::size_t i) {
+                            if (i == 200) throw std::runtime_error("chunk failed");
+                          }),
+      std::runtime_error);
+  // The pool must survive a throwing wave and run later work normally.
+  std::atomic<int> count{0};
+  pool.for_each_index(128, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 128);
+}
+
+TEST(ThreadPoolException, ParallelForCallerChunkExceptionStillRetiresQueuedChunks) {
+  // The caller runs chunk [0, k) itself; a throw there must not unwind past
+  // the queued chunks — they borrow the chunk functor and Sync off this
+  // stack frame, so returning early would be a use-after-free for the
+  // workers. Every surviving index must still run exactly once.
+  ThreadPool pool(4, 4);
+  constexpr std::size_t n = 4000;
+  std::vector<std::atomic<int>> hits(n);
+  EXPECT_THROW(pool.parallel_for(n,
+                                 [&](std::size_t begin, std::size_t end) {
+                                   if (begin == 0) throw std::runtime_error("caller chunk");
+                                   for (std::size_t i = begin; i < end; ++i)
+                                     hits[i].fetch_add(1);
+                                 }),
+               std::runtime_error);
+  for (std::size_t i = 1000; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolException, ParallelForSerialPoolPropagatesInline) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.for_each_index(
+                   8, [](std::size_t i) { (void)i; throw std::logic_error("serial"); }),
+               std::logic_error);
+  int count = 0;
+  pool.for_each_index(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 8);
+}
+
+TEST(ThreadPoolException, TaskGroupWaitRethrowsFirstTaskException) {
+  ThreadPool pool(4, 4);
+  std::atomic<int> ran{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&ran, i] {
+      if (i == 13) throw std::runtime_error("task 13");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // Every non-throwing task still ran: one failure doesn't cancel the wave.
+  EXPECT_EQ(ran.load(), 63);
+  // Group and pool stay usable after the rethrow.
+  group.run([&ran] { ran.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolException, TaskGroupSerialPoolRethrowsAtWaitNotRun) {
+  // Inline execution (no workers) must keep the contract: run() returns
+  // normally, the captured exception surfaces at wait().
+  ThreadPool pool(1);
+  ThreadPool::TaskGroup group(pool);
+  EXPECT_NO_THROW(group.run([] { throw std::runtime_error("inline task"); }));
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  int ran = 0;
+  group.run([&ran] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolException, TaskGroupDestructorSwallowsUnobservedException) {
+  // ~TaskGroup waits but must not rethrow (throwing destructors terminate).
+  ThreadPool pool(2, 2);
+  {
+    ThreadPool::TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("unobserved"); });
+  }
+  std::atomic<int> count{0};
+  pool.for_each_index(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolException, NestedParallelForExceptionReachesGroupWait) {
+  // A task's inline nested parallel_for throws -> the task throws -> the
+  // group captures it and wait() rethrows.
+  ThreadPool pool(4, 4);
+  ThreadPool::TaskGroup group(pool);
+  group.run([&] {
+    pool.for_each_index(100, [](std::size_t i) {
+      if (i == 50) throw std::runtime_error("nested");
+    });
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolException, ExceptionTypePreserved) {
+  ThreadPool pool(4, 4);
+  try {
+    pool.for_each_index(64, [](std::size_t i) {
+      if (i == 32) throw std::out_of_range("index 32 rejected");
+    });
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "index 32 rejected");
+  }
+}
+
 TEST(TaskGroup, ParallelForFromCallerWhileGroupPending) {
   // An outer serial caller may interleave its own parallel_for with a
   // pending TaskGroup on the same pool; both must complete.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
 
 #include "radloc/core/localizer.hpp"
 #include "radloc/eval/matching.hpp"
@@ -205,6 +208,76 @@ TEST(Localizer, HistoryWindowValidation) {
   Fixture f;
   f.cfg.history_window = 0;
   EXPECT_THROW(MultiSourceLocalizer(f.env, f.sensors, f.cfg, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Batch ingestion: process_all must be all-or-nothing on malformed input
+// (regression — it used to apply the prefix before throwing mid-batch), and
+// try_process_all is the fault-tolerant drain path the service layer uses.
+
+TEST(Localizer, ProcessAllIsAllOrNothingOnMalformedBatch) {
+  Fixture f;
+  MultiSourceLocalizer loc(f.env, f.sensors, f.cfg, 7);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Measurement> batch{{0, 12.0}, {1, 9.0}, {2, nan}, {3, 11.0}};
+  EXPECT_THROW(loc.process_all(batch), std::invalid_argument);
+  // Nothing was applied: the malformed reading was found before the first
+  // process() call, so the well-formed prefix did not leak into the filter.
+  EXPECT_EQ(loc.iterations(), 0u);
+  try {
+    loc.process_all(batch);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Localizer, TryProcessAllProcessesWellFormedAndTalliesFaults) {
+  Fixture f;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Measurement> batch{
+      {0, 12.0}, {999, 5.0}, {1, nan}, {2, 8.0}, {3, -4.0}, {4, 10.0}};
+
+  MultiSourceLocalizer loc(f.env, f.sensors, f.cfg, 7);
+  const BatchIngestResult r = loc.try_process_all(batch);
+  EXPECT_EQ(r.processed, 3u);
+  EXPECT_EQ(r.rejected, 3u);
+  EXPECT_EQ(r.processed + r.rejected, batch.size());
+  EXPECT_EQ(r.first_fault, ReadingFault::kUnknownSensor);
+  EXPECT_EQ(r.count(ReadingFault::kUnknownSensor), 1u);
+  EXPECT_EQ(r.count(ReadingFault::kNonFiniteCpm), 1u);
+  EXPECT_EQ(r.count(ReadingFault::kNegativeCpm), 1u);
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(loc.iterations(), 3u);
+
+  // The surviving readings produce exactly the state of a clean feed of the
+  // well-formed subsequence — malformed readings are skips, not no-op
+  // iterations.
+  MultiSourceLocalizer clean(f.env, f.sensors, f.cfg, 7);
+  const std::vector<Measurement> good{{0, 12.0}, {2, 8.0}, {4, 10.0}};
+  const BatchIngestResult rc = clean.try_process_all(good);
+  EXPECT_TRUE(rc.clean());
+  ASSERT_EQ(loc.filter().size(), clean.filter().size());
+  for (std::size_t i = 0; i < loc.filter().size(); ++i) {
+    ASSERT_EQ(loc.filter().weights()[i], clean.filter().weights()[i]) << i;
+    ASSERT_EQ(loc.filter().positions()[i], clean.filter().positions()[i]) << i;
+  }
+}
+
+TEST(Localizer, TryProcessAllCallbackSeesEveryReadingInOrder) {
+  Fixture f;
+  MultiSourceLocalizer loc(f.env, f.sensors, f.cfg, 7);
+  const std::vector<Measurement> batch{{0, 12.0}, {999, 5.0}, {1, 9.0}};
+  std::vector<std::pair<std::size_t, ReadingFault>> seen;
+  loc.try_process_all(batch, [&](std::size_t i, ReadingFault fault) {
+    seen.emplace_back(i, fault);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, ReadingFault>{0, ReadingFault::kNone}));
+  EXPECT_EQ(seen[1], (std::pair<std::size_t, ReadingFault>{1, ReadingFault::kUnknownSensor}));
+  EXPECT_EQ(seen[2], (std::pair<std::size_t, ReadingFault>{2, ReadingFault::kNone}));
 }
 
 }  // namespace

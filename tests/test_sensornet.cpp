@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "radloc/common/math.hpp"
 #include "radloc/sensornet/delivery.hpp"
 #include "radloc/sensornet/placement.hpp"
 #include "radloc/sensornet/simulator.hpp"
+#include "radloc/sensornet/validation.hpp"
 
 namespace radloc {
 namespace {
@@ -230,6 +234,65 @@ TEST(Delivery, ZeroLatencyIsImmediate) {
   RandomLatencyDelivery d(0.0);
   const auto out = d.deliver(rng, std::vector<Measurement>(25));
   EXPECT_EQ(out.size(), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// Timestamp validation (streaming ingest): a NaN timestamp fed into a
+// comparison-based drain order breaks strict weak ordering (UB for
+// std::sort), so timed readings must be rejected at the choke point before
+// any per-session ordering decision. Regression tests pin the exact fault
+// per degenerate value.
+
+TEST(Validation, TimestampFaultsPinned) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(MeasurementValidator::check_timestamp(0.0), ReadingFault::kNone);
+  EXPECT_EQ(MeasurementValidator::check_timestamp(1e12), ReadingFault::kNone);
+  EXPECT_EQ(MeasurementValidator::check_timestamp(nan), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(MeasurementValidator::check_timestamp(inf), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(MeasurementValidator::check_timestamp(-inf), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(MeasurementValidator::check_timestamp(-0.5), ReadingFault::kNegativeTimestamp);
+  // -0.0 compares == 0.0: not negative, admitted.
+  EXPECT_EQ(MeasurementValidator::check_timestamp(-0.0), ReadingFault::kNone);
+  // Subnormal timestamps are finite and non-negative: admitted.
+  EXPECT_EQ(MeasurementValidator::check_timestamp(std::numeric_limits<double>::denorm_min()),
+            ReadingFault::kNone);
+}
+
+TEST(Validation, TimedCheckOrdersTimestampBeforeMeasurement) {
+  MeasurementValidator v(4);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Both the timestamp and the measurement are malformed: the timestamp
+  // verdict wins (it is checked first — it guards the ordering decision that
+  // happens before the reading is even looked at).
+  EXPECT_EQ(v.check_timed({99, nan}, nan), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(v.check_timed({99, 10.0}, 1.0), ReadingFault::kUnknownSensor);
+  EXPECT_EQ(v.check_timed({1, -3.0}, 1.0), ReadingFault::kNegativeCpm);
+  EXPECT_EQ(v.check_timed({1, 10.0}, 1.0), ReadingFault::kNone);
+}
+
+TEST(Validation, AdmitTimedTalliesPerFault) {
+  MeasurementValidator v(4);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(v.admit_timed({0, 5.0}, 0.0), ReadingFault::kNone);
+  EXPECT_EQ(v.admit_timed({0, 5.0}, nan), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(v.admit_timed({0, 5.0}, inf), ReadingFault::kNonFiniteTimestamp);
+  EXPECT_EQ(v.admit_timed({0, 5.0}, -1.0), ReadingFault::kNegativeTimestamp);
+  EXPECT_EQ(v.admit_timed({9, 5.0}, 2.0), ReadingFault::kUnknownSensor);
+  EXPECT_EQ(v.count(ReadingFault::kNonFiniteTimestamp), 2u);
+  EXPECT_EQ(v.count(ReadingFault::kNegativeTimestamp), 1u);
+  EXPECT_EQ(v.accepted(), 1u);
+  EXPECT_EQ(v.rejected(), 4u);
+}
+
+TEST(Validation, EnforceNamesTimestampFault) {
+  try {
+    MeasurementValidator::enforce(ReadingFault::kNonFiniteTimestamp);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("timestamp"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -25,11 +25,11 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = ["weight_update", "experiment_throughput"]
+DEFAULT_BENCHES = ["weight_update", "experiment_throughput", "session_multiplex"]
 
 # Metric-name fragments that identify the "bigger is better" direction.
 HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput", "frac")
-LOWER_IS_BETTER = ("sec_per", "_ms", "_seconds", "error", "rmse", "nll")
+LOWER_IS_BETTER = ("sec_per", "_ms", "_us", "_seconds", "error", "rmse", "nll")
 
 
 def load_rows(path):

@@ -2,7 +2,7 @@
 # radloc correctness gauntlet: tier-1 tests plus the sanitizer suites.
 #
 #   tools/check.sh            # release + asan + tsan (full ctest each)
-#   tools/check.sh release    # any subset of: release asan tsan benchsmoke
+#   tools/check.sh release    # any subset of: release asan tsan benchsmoke serve
 #   RADLOC_CHECK_JOBS=8 tools/check.sh
 #
 # The release stage's ctest includes the `benchsmoke` label (every bench
@@ -14,13 +14,26 @@
 # (informational: smoke numbers are noisy, so regressions never fail the
 # gauntlet here; run bench_compare.py --strict by hand on full runs).
 #
+# The `serve` stage smoke-tests the streaming service end to end: radloc_serve
+# in all three ingest modes (synthetic, trace replay, stdin line protocol)
+# plus bench_session_multiplex --smoke diffed against the committed
+# BENCH_session_multiplex.json. The diff is informational by default; pass
+# --strict to make flagged regressions fail the stage.
+#
 # Each stage is a CMake preset (see CMakePresets.json); build trees land in
 # build/<preset>. The script stops at the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="${RADLOC_CHECK_JOBS:-$(nproc)}"
-stages=("$@")
+strict=""
+stages=()
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict="--strict" ;;
+    *) stages+=("$arg") ;;
+  esac
+done
 if [ ${#stages[@]} -eq 0 ]; then
   stages=(release asan tsan)
 fi
@@ -31,13 +44,36 @@ for stage in "${stages[@]}"; do
   build_preset="$stage"
   case "$stage" in
     release|asan|tsan) ;;
-    benchsmoke) build_preset="release" ;;
-    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan|benchsmoke)" >&2; exit 2 ;;
+    benchsmoke|serve) build_preset="release" ;;
+    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan|benchsmoke|serve)" >&2; exit 2 ;;
   esac
   echo "==> [$stage] configure"
   cmake --preset "$build_preset" >/dev/null
   echo "==> [$stage] build"
   cmake --build --preset "$build_preset" -j "$jobs"
+  if [ "$stage" = serve ]; then
+    tree="build/$build_preset"
+    echo "==> [$stage] synthetic ingest smoke"
+    "$tree/tools/radloc_serve" --sessions 3 --synthetic 4 --particles 400 \
+        --dump-every 2 --seed 5
+    echo "==> [$stage] trace replay smoke"
+    "$tree/tools/radloc_sim" --scenario A --steps 3 --trials 1 \
+        --trace "$tree/serve_smoke_trace.csv" >/dev/null
+    "$tree/tools/radloc_serve" --replay "$tree/serve_smoke_trace.csv" --scenario A \
+        --sessions 2 --particles 400 --dump-every 0
+    echo "==> [$stage] line-protocol smoke"
+    printf 'ingest 1 0.0 0 12.5\ningest 1 0.0 1 -5\ndrain\nstats 1\nestimate 1\nquit\n' | \
+        "$tree/tools/radloc_serve" --sessions 1 --stdin --particles 300
+    echo "==> [$stage] bench_session_multiplex --smoke + compare vs baseline"
+    (cd "$tree/bench" && ./bench_session_multiplex --smoke)
+    if [ -n "$strict" ]; then
+      python3 tools/bench_compare.py session_multiplex --fresh-dir "$tree/bench" --strict
+    else
+      python3 tools/bench_compare.py session_multiplex --fresh-dir "$tree/bench" || true
+    fi
+    echo "==> [$stage] OK"
+    continue
+  fi
   echo "==> [$stage] ctest"
   if [ "$stage" = benchsmoke ]; then
     # Both SIMD dispatch paths: forced-scalar (the bit-identical default
