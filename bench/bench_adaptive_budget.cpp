@@ -1,0 +1,198 @@
+// Adaptive particle budget: accuracy-vs-budget curves and Table-I-style
+// runtime at equal accuracy (ISSUE 8 acceptance bench).
+//
+// The paper fixes NP = 2000 for every 100x100 scenario; once the posterior
+// has collapsed to a few tight modes that budget is pure overhead. This
+// bench runs the Fig. 2/3 easy scenarios (two well-separated sources in the
+// open, 10 and 50 uCi) and a hard one (three sources behind Scenario A's
+// U-shaped obstacle, filter NOT told about it) under fixed budgets, the
+// ESS-gated fixed budget, and the KLD budget controller, with paired
+// measurement streams per trial. Reported per config:
+//
+//   mean_error             final-step localization error (matched sources)
+//   missed                 false negatives + false positives, averaged
+//   particles_per_reading  filter work actually done: sum |P'| / readings
+//   us_per_reading         wall time of the measurement loop per reading
+//   final_budget           particle count at the end of the run
+//   resample_skip_frac     resamples skipped by the ESS gate
+//
+// Non-smoke runs enforce the acceptance criteria: on BOTH easy scenarios the
+// adaptive controller must cut particles_per_reading by >= 2x vs fixed:2000
+// at equal accuracy (within +2.0 length units), and on the hard scenario its
+// accuracy must stay within 10% (+0.5 units noise slack) of fixed:2000.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "radloc/radloc.hpp"
+
+namespace {
+
+using namespace radloc;
+
+struct BudgetMode {
+  std::string label;
+  std::size_t num_particles = 2000;
+  bool adaptive = false;
+  std::size_t min_particles = 500;
+  std::size_t max_particles = 2000;
+  double ess_threshold = 1.0;
+};
+
+struct RunResult {
+  double mean_error = 0.0;
+  double missed = 0.0;        // false negatives + false positives, per trial
+  double missed_total = 0.0;  // summed over trials (criteria compare events)
+  double particles_per_reading = 0.0;
+  double us_per_reading = 0.0;
+  double final_budget = 0.0;
+  double resample_skip_frac = 0.0;
+};
+
+RunResult run_config(const Scenario& scenario,
+                     const std::vector<std::vector<std::vector<Measurement>>>& trial_steps,
+                     const BudgetMode& mode) {
+  RunResult acc;
+  const auto trials = trial_steps.size();
+  for (std::size_t r = 0; r < trials; ++r) {
+    LocalizerConfig cfg;
+    cfg.filter.num_particles = mode.num_particles;
+    cfg.filter.fusion_range = scenario.recommended_fusion_range;
+    cfg.filter.ess_resample_threshold = mode.ess_threshold;
+    if (mode.adaptive) {
+      cfg.filter.adaptive_budget = true;
+      cfg.filter.min_particles = mode.min_particles;
+      cfg.filter.max_particles = mode.max_particles;
+    }
+    MultiSourceLocalizer loc(scenario.env, scenario.sensors, cfg, 1000 + r);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& step : trial_steps[r]) {
+      for (const Measurement& m : step) loc.process(m);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const auto estimates = loc.estimate();
+    const MatchResult match = match_estimates(scenario.sources, estimates);
+    const auto readings = static_cast<double>(loc.iterations());
+    acc.mean_error += match.mean_error();
+    acc.missed += static_cast<double>(match.false_negatives + match.false_positives);
+    acc.particles_per_reading +=
+        static_cast<double>(loc.filter().particles_scored()) / readings;
+    acc.us_per_reading +=
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / readings;
+    acc.final_budget += static_cast<double>(loc.budget_diagnostics().current_budget);
+    const double skips = static_cast<double>(loc.filter().resamples_skipped());
+    const double total =
+        skips + static_cast<double>(loc.filter().resamples_performed());
+    acc.resample_skip_frac += total > 0.0 ? skips / total : 0.0;
+  }
+  const auto n = static_cast<double>(trials);
+  acc.missed_total = acc.missed;
+  acc.mean_error /= n;
+  acc.missed /= n;
+  acc.particles_per_reading /= n;
+  acc.us_per_reading /= n;
+  acc.final_budget /= n;
+  acc.resample_skip_frac /= n;
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::size_t num_steps = bench::steps(30);
+  const std::size_t trials = bench::trials(3);
+
+  struct Entry {
+    const char* tag;
+    Scenario scenario;
+    bool easy;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"A-10uCi", make_scenario_a(10.0), true});
+  entries.push_back({"A-50uCi", make_scenario_a(50.0), true});
+  // Hard: three sources, U-shaped obstacle the filter is NOT told about
+  // (the paper's complex-environment mode) — posterior churns for longer.
+  entries.push_back({"A3-obstacle", make_scenario_a3(10.0, 5.0, true), false});
+
+  const std::vector<BudgetMode> modes = {
+      {"fixed:2000", 2000, false, 0, 0, 1.0},
+      {"fixed:1000", 1000, false, 0, 0, 1.0},
+      {"fixed:500", 500, false, 0, 0, 1.0},
+      {"fixed:2000|essgate", 2000, false, 0, 0, 0.5},
+      // The headline config pairs both halves of the subsystem: the ESS gate
+      // concentrates the posterior (fewer resample scatters), which is what
+      // lets the KLD occupancy count collapse and the budget shrink.
+      {"adaptive:500-2000|essgate", 2000, true, 500, 2000, 0.5},
+  };
+
+  bench::JsonWriter json("adaptive_budget");
+  bool ok = true;
+  std::printf("%-12s %-26s %10s %7s %12s %12s %8s %6s\n", "scenario", "config", "error",
+              "missed", "parts/read", "us/read", "budget", "skip%");
+  for (const Entry& e : entries) {
+    // Paired streams: every config replays the same per-trial measurement
+    // sequences, so config deltas are not simulator noise.
+    MeasurementSimulator sim(e.scenario.env, e.scenario.sensors, e.scenario.sources);
+    std::vector<std::vector<std::vector<Measurement>>> trial_steps(trials);
+    for (std::size_t r = 0; r < trials; ++r) {
+      Rng noise(500 + 77 * r);
+      for (std::size_t t = 0; t < num_steps; ++t) {
+        trial_steps[r].push_back(sim.sample_time_step(noise));
+      }
+    }
+
+    RunResult fixed_full;
+    RunResult adaptive;
+    for (const BudgetMode& mode : modes) {
+      const RunResult res = run_config(e.scenario, trial_steps, mode);
+      if (mode.label == "fixed:2000") fixed_full = res;
+      if (mode.adaptive) adaptive = res;
+      std::printf("%-12s %-26s %10.2f %7.1f %12.0f %12.1f %8.0f %5.0f%%\n", e.tag,
+                  mode.label.c_str(), res.mean_error, res.missed, res.particles_per_reading,
+                  res.us_per_reading, res.final_budget, 100.0 * res.resample_skip_frac);
+      json.add(e.tag, mode.label, "mean_error", res.mean_error);
+      json.add(e.tag, mode.label, "missed", res.missed);
+      json.add(e.tag, mode.label, "particles_per_reading", res.particles_per_reading);
+      json.add(e.tag, mode.label, "wall_us_per_reading", res.us_per_reading);
+      json.add(e.tag, mode.label, "final_budget", res.final_budget);
+      json.add(e.tag, mode.label, "resample_skip_frac", res.resample_skip_frac);
+    }
+
+    const double reduction = adaptive.particles_per_reading > 0.0
+                                 ? fixed_full.particles_per_reading /
+                                       adaptive.particles_per_reading
+                                 : 0.0;
+    json.add(e.tag, "adaptive-vs-fixed:2000", "particle_reduction_x", reduction);
+    // Detection tolerance: one extra mis-detection event across ALL trials.
+    // Individual streams can be pathological for every budget (a phantom
+    // mode that even fixed:2000 accepts); the criterion guards against a
+    // systematic detection regression, not single-event noise.
+    const bool missed_ok = adaptive.missed_total <= fixed_full.missed_total + 1.0;
+    if (e.easy) {
+      const bool pass = reduction >= 2.0 &&
+                        adaptive.mean_error <= fixed_full.mean_error + 2.0 && missed_ok;
+      std::printf("%-12s easy criteria: %.2fx reduction (need >=2), error %.2f vs %.2f"
+                  " (+2.0 tolerance) -> %s\n",
+                  e.tag, reduction, adaptive.mean_error, fixed_full.mean_error,
+                  pass ? "ok" : "FAIL");
+      ok = ok && pass;
+    } else {
+      const bool pass =
+          adaptive.mean_error <= 1.10 * fixed_full.mean_error + 0.5 && missed_ok;
+      std::printf("%-12s hard criteria: error %.2f vs %.2f (within 10%% + 0.5) -> %s\n", e.tag,
+                  adaptive.mean_error, fixed_full.mean_error, pass ? "ok" : "FAIL");
+      ok = ok && pass;
+    }
+  }
+  json.write();
+  if (!bench::smoke() && !ok) {
+    std::printf("acceptance criteria FAILED\n");
+    return 1;
+  }
+  return 0;
+}

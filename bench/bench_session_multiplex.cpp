@@ -32,10 +32,20 @@ struct RunStats {
 };
 
 RunStats run_once(const Scenario& scenario, const std::vector<std::vector<Measurement>>& steps,
-                  std::size_t sessions, std::size_t threads, std::uint64_t seed) {
+                  std::size_t sessions, std::size_t threads, std::uint64_t seed,
+                  bool adaptive) {
   SessionConfig cfg;
   cfg.localizer.filter.num_particles = 800;
   cfg.localizer.filter.fusion_range = scenario.recommended_fusion_range;
+  if (adaptive) {
+    // The multiplier row: once a session's posterior converges its budget
+    // shrinks toward min_particles and the whole server's readings/sec
+    // scales with scenario difficulty instead of worst-case NP.
+    cfg.localizer.filter.adaptive_budget = true;
+    cfg.localizer.filter.min_particles = 200;
+    cfg.localizer.filter.max_particles = 1600;
+    cfg.localizer.filter.ess_resample_threshold = 0.5;
+  }
   cfg.queue_capacity = 1 << 12;
 
   ThreadPool pool(threads, threads);
@@ -93,19 +103,24 @@ int main(int argc, char** argv) {
       bench::smoke() ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 8, 32};
 
   bench::JsonWriter json("session_multiplex");
-  std::printf("%-10s %16s %10s %10s\n", "sessions", "readings/sec", "p50_us", "p99_us");
-  for (const std::size_t sessions : session_counts) {
-    RunStats best;
-    for (std::size_t r = 0; r < reps; ++r) {
-      const RunStats s = run_once(scenario, steps, sessions, threads, 1 + r);
-      if (s.readings_per_sec > best.readings_per_sec) best = s;
+  std::printf("%-10s %-10s %16s %10s %10s\n", "sessions", "budget", "readings/sec", "p50_us",
+              "p99_us");
+  for (const bool adaptive : {false, true}) {
+    for (const std::size_t sessions : session_counts) {
+      RunStats best;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const RunStats s = run_once(scenario, steps, sessions, threads, 1 + r, adaptive);
+        if (s.readings_per_sec > best.readings_per_sec) best = s;
+      }
+      std::printf("%-10zu %-10s %16.0f %10.2f %10.2f\n", sessions,
+                  adaptive ? "adaptive" : "fixed", best.readings_per_sec, best.p50_us,
+                  best.p99_us);
+      const std::string config =
+          "sessions:" + std::to_string(sessions) + (adaptive ? "|adaptive" : "");
+      json.add("A", config, "readings_per_sec", best.readings_per_sec, threads);
+      json.add("A", config, "p50_latency_us", best.p50_us, threads);
+      json.add("A", config, "p99_latency_us", best.p99_us, threads);
     }
-    std::printf("%-10zu %16.0f %10.2f %10.2f\n", sessions, best.readings_per_sec, best.p50_us,
-                best.p99_us);
-    const std::string config = "sessions:" + std::to_string(sessions);
-    json.add("A", config, "readings_per_sec", best.readings_per_sec, threads);
-    json.add("A", config, "p50_latency_us", best.p50_us, threads);
-    json.add("A", config, "p99_latency_us", best.p99_us, threads);
   }
   json.write();
   return 0;

@@ -1,0 +1,205 @@
+#include "radloc/adaptive/budget_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "radloc/common/math.hpp"
+
+namespace radloc {
+
+namespace {
+
+/// A bin is occupied when it holds more than this many particles' worth of
+/// uniform-share mass. The filter's random-replacement scatter (default 5%)
+/// deposits ~0.05 * NP / bins particles per bin — well under this factor for
+/// any sane geometry — while a converged cluster bin holds hundreds. Mass-
+/// based (not count-based) so the rare heavy-weight straggler still counts.
+constexpr double kOccupancyMassFactor = 2.5;
+
+/// The band below which a budget move is "small". Small growth is
+/// suppressed (resizing costs a full-population resample; tiny upward
+/// corrections are not worth it); small shrinks descend FREELY, because
+/// band-suppressing them would stall the occupancy feedback that walks a
+/// settled budget down to the floor, and gating them on mode stability
+/// would pay for mean-shift at every settled equilibrium above the floor.
+/// Only larger-than-band shrinks face the stability gates (see recommend()).
+constexpr double kHysteresisFrac = 0.125;
+
+/// Modes below this support fraction are ignored by the stability window.
+/// Subset-mass conservation keeps a population of weak persistent clusters
+/// alive (every fusion disk's mass stays in its neighborhood), and their
+/// count flickers near the mean-shift min_support cutoff; only substantial
+/// clusters carry information about whether the posterior has settled.
+constexpr double kModeSupportFloor = 0.05;
+
+}  // namespace
+
+BudgetController::BudgetController(const AreaBounds& bounds, const BudgetControllerConfig& cfg)
+    : cfg_(cfg), bounds_(bounds) {
+  require(cfg_.min_particles > 0 && cfg_.min_particles <= cfg_.max_particles,
+          "budget bounds invalid");
+  require(std::isfinite(cfg_.bin_size) && cfg_.bin_size > 0.0, "bin size must be positive");
+  require(std::isfinite(cfg_.kld_epsilon) && cfg_.kld_epsilon > 0.0, "KLD epsilon invalid");
+  require(std::isfinite(cfg_.kld_quantile) && cfg_.kld_quantile > 0.0, "KLD quantile invalid");
+  require(cfg_.stability_window > 0, "stability window must be non-zero");
+  nx_ = static_cast<std::size_t>(std::ceil(std::max(bounds_.width(), 1e-9) / cfg_.bin_size));
+  ny_ = static_cast<std::size_t>(std::ceil(std::max(bounds_.height(), 1e-9) / cfg_.bin_size));
+  nx_ = std::max<std::size_t>(nx_, 1);
+  ny_ = std::max<std::size_t>(ny_, 1);
+  bin_mass_.assign(nx_ * ny_, 0.0);
+  touched_.reserve(nx_ * ny_);
+}
+
+std::size_t BudgetController::kld_sample_size(std::size_t occupied_bins, double epsilon,
+                                              double quantile) {
+  if (occupied_bins < 2) return 1;  // zero degrees of freedom
+  const double km1 = static_cast<double>(occupied_bins - 1);
+  const double a = 2.0 / (9.0 * km1);
+  const double b = 1.0 - a + std::sqrt(a) * quantile;
+  const double n = km1 / (2.0 * epsilon) * b * b * b;
+  return static_cast<std::size_t>(std::ceil(std::max(n, 1.0)));
+}
+
+std::size_t BudgetController::count_occupied_bins(std::span<const Point2> positions,
+                                                  std::span<const double> weights) {
+  for (const auto bin : touched_) bin_mass_[bin] = 0.0;
+  touched_.clear();
+  double total = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double w = weights[i];
+    if (!(w > 0.0)) continue;
+    const Point2 p = bounds_.clamp(positions[i]);
+    auto bx = static_cast<std::size_t>((p.x - bounds_.min.x) / cfg_.bin_size);
+    auto by = static_cast<std::size_t>((p.y - bounds_.min.y) / cfg_.bin_size);
+    bx = std::min(bx, nx_ - 1);
+    by = std::min(by, ny_ - 1);
+    const std::size_t bin = by * nx_ + bx;
+    if (bin_mass_[bin] == 0.0) touched_.push_back(static_cast<std::uint32_t>(bin));
+    bin_mass_[bin] += w;
+    total += w;
+  }
+  if (total <= 0.0 || positions.empty()) return 0;
+  const double threshold = kOccupancyMassFactor * total / static_cast<double>(positions.size());
+  std::size_t occupied = 0;
+  for (const auto bin : touched_) {
+    if (bin_mass_[bin] > threshold) ++occupied;
+  }
+  return occupied;
+}
+
+bool BudgetController::update_mode_window(std::span<const SourceEstimate> modes) {
+  strong_modes_.clear();
+  for (const auto& m : modes) {
+    if (m.support >= kModeSupportFloor) strong_modes_.push_back(m.pos);
+  }
+  bool stable_step = false;
+  const std::size_t count = strong_modes_.size();
+  // +/-1 count tolerance: a cluster whose support straddles the floor flips
+  // the count every other run without the posterior actually changing.
+  if (have_prev_modes_ &&
+      (count > prev_strong_count_ ? count - prev_strong_count_ : prev_strong_count_ - count) <=
+          1) {
+    stable_step = true;
+    // Displacement is checked against ALL previous modes (not just strong
+    // ones): a cluster that dipped under the floor last run and resurfaced
+    // is still the same cluster, not churn.
+    for (const auto& m : strong_modes_) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& p : prev_modes_) best = std::min(best, distance(m, p));
+      if (!(best <= cfg_.mode_displacement)) {
+        stable_step = false;
+        break;
+      }
+    }
+    // An empty set matched against an empty set is trivially stable.
+  }
+  prev_modes_.clear();
+  prev_modes_.reserve(modes.size());
+  for (const auto& m : modes) prev_modes_.push_back(m.pos);
+  prev_strong_count_ = count;
+  have_prev_modes_ = true;
+  stable_runs_ = stable_step ? stable_runs_ + 1 : 0;
+  unstable_runs_ = stable_step ? 0 : unstable_runs_ + 1;
+  diag_.mode_count = count;
+  return stable_runs_ >= cfg_.stability_window;
+}
+
+std::size_t BudgetController::recommend(std::span<const Point2> positions,
+                                        std::span<const double> weights, double ess_fraction,
+                                        const std::function<std::vector<SourceEstimate>()>& modes,
+                                        std::size_t current) {
+  const std::size_t occupied = count_occupied_bins(positions, weights);
+  const std::size_t kld_target = kld_sample_size(occupied, cfg_.kld_epsilon, cfg_.kld_quantile);
+
+  auto clamp_budget = [&](std::size_t n) {
+    return std::clamp(n, cfg_.min_particles, cfg_.max_particles);
+  };
+  const auto band = static_cast<std::size_t>(static_cast<double>(current) * kHysteresisFrac);
+
+  std::size_t target = clamp_budget(kld_target);
+  if (ess_fraction < cfg_.ess_floor) {
+    // Degeneracy alarm: multiplicative growth toward the cap.
+    target = std::max(target, clamp_budget(current + current / 2));
+  }
+
+  // Shrink policy is two-speed. A shrink WITHIN the band descends freely
+  // (see below): each step drops at most 12.5% of the population, is cheap,
+  // and follows the KLD occupancy estimate downward — fewer particles
+  // scatter into fewer occupied bins, so free descent and the occupancy
+  // feedback walk an easy scenario's budget to its KLD equilibrium (the
+  // floor, for a converged posterior), while a hard scenario's spread
+  // posterior keeps the equilibrium high and stops the descent by itself.
+  // Only a LARGER-than-band shrink (including one pinning the floor) is a
+  // collapse risk and must pass the persistence + mode-stability gates.
+  const bool pins_floor = target == cfg_.min_particles && target < current;
+  const bool wants_shrink = target < current && (pins_floor || target + band <= current);
+  shrink_pressure_ = wants_shrink ? shrink_pressure_ + 1 : 0;
+  bool stable = false;
+  if (wants_shrink && shrink_pressure_ < 2) {
+    // Occupancy is a noisy estimate: an isolated shrink proposal near the
+    // settle point is usually a downward blip, and evaluating it would pay
+    // for mean-shift every few runs forever. Require the pressure to
+    // persist for two consecutive runs (a real descent proposes shrinking
+    // every run, so this costs one interval of latency once).
+    target = current;
+  } else if (wants_shrink) {
+    // Only a persistent shrink consults the (comparatively expensive)
+    // mean-shift stability signal; growth and holds never invoke the
+    // callback, so a settled budget costs one O(NP) binning pass per run.
+    stable = update_mode_window(modes());
+    if (stable) {
+      // Rate-limited shrink: at most halve per run.
+      target = std::max(target, clamp_budget(current - current / 2));
+    } else {
+      // Never shrink while the mode set is still churning, and once the
+      // churn has persisted for a full window, grow: strong modes that keep
+      // moving or appearing mean the posterior is under-resolved at the
+      // current budget (sources still separating, or drifting behind an
+      // unmodeled obstacle).
+      target = current;
+      if (unstable_runs_ >= cfg_.stability_window) {
+        target = clamp_budget(current + current / 2);
+      }
+    }
+  } else if (target > current && target < current + band) {
+    // Growth inside the hysteresis band: not worth a full-population
+    // resample (the ESS alarm and churn-grow bypass the band by
+    // construction — both jump 1.5x). An in-band SHRINK deliberately falls
+    // through untouched: free descent, as motivated above.
+    target = current;
+  }
+  target = clamp_budget(target);
+
+  ++diag_.controller_runs;
+  if (target > current) ++diag_.grow_events;
+  if (target < current) ++diag_.shrink_events;
+  diag_.current_budget = target;
+  diag_.occupied_bins = occupied;
+  diag_.kld_target = kld_target;
+  diag_.ess_fraction = ess_fraction;
+  diag_.modes_stable = stable;
+  return target;
+}
+
+}  // namespace radloc

@@ -1,0 +1,134 @@
+// KLD-sampling particle-budget controller (the ROADMAP's "adaptive budget"
+// item; ISSUE 8 tentpole).
+//
+// The paper fixes NP for every scenario, so Table I pays the worst-case
+// particle count even after the posterior has collapsed to a few tight
+// modes. This controller resizes the budget between configured bounds from
+// three signals, all cheap and all deterministic:
+//
+//   1. Occupied-bin complexity. Particle positions are binned on a uniform
+//      grid over the surveillance area (pitch derived from the fusion range,
+//      like the filter's spatial index). The KLD-sampling bound (Fox 2003)
+//      converts the occupied-bin count k into the number of particles needed
+//      to keep the sample-vs-binned-posterior K-L divergence under epsilon
+//      with confidence z. A bin counts as occupied only when it holds
+//      meaningfully more than its uniform share of mass — the filter's 5%
+//      random-replacement scatter would otherwise keep every bin nominally
+//      occupied forever and the budget could never shrink.
+//   2. Effective sample size. A global ESS fraction under the configured
+//      floor is a degeneracy alarm: grow multiplicatively toward the cap
+//      regardless of the bin count.
+//   3. Mean-shift mode stability. Only modes holding >= 5% of the total
+//      particle mass count (weak persistent clusters flicker near the
+//      mean-shift min_support cutoff and carry no settling signal).
+//      Shrinking is allowed only after the strong-mode set has been stable
+//      (count within +/-1, displacement bounded against the previous run's
+//      full mode list) for a full window of controller runs; churn that
+//      persists for a full window instead GROWS the budget — strong modes
+//      that keep moving mean the posterior is under-resolved at the current
+//      count (sources still separating, or drifting behind an unmodeled
+//      obstacle). The mean-shift signal is LAZY: it is only computed when
+//      the cheap signals propose a shrink, so a settled budget's controller
+//      run is a single O(NP) binning pass.
+//
+// Shrink policy is two-speed: shrinks within 12.5% of the current budget
+// descend freely (cheap, low-risk steps that follow the KLD occupancy
+// estimate to its equilibrium — the floor on an easy scenario, a high
+// plateau on a hard one), while larger shrinks must persist for two
+// consecutive runs and pass the mode-stability window, and are rate-limited
+// to at most halving per run. Growth within +12.5% is suppressed. The
+// controller holds no reference to the filter: the caller feeds it particle
+// views and raw mean-shift modes and applies the returned budget itself
+// (see MultiSourceLocalizer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "radloc/common/types.hpp"
+#include "radloc/meanshift/meanshift.hpp"
+
+namespace radloc {
+
+struct BudgetControllerConfig {
+  std::size_t min_particles = 500;
+  std::size_t max_particles = 4000;
+  double kld_epsilon = 0.05;
+  double kld_quantile = 2.33;
+  double bin_size = 7.0;  ///< occupancy-grid pitch; must be positive
+  std::size_t stability_window = 3;
+  double mode_displacement = 5.0;
+  double ess_floor = 0.25;
+};
+
+/// Telemetry snapshot of the last controller run (core/localizer.hpp
+/// surfaces it; service/session_manager folds budget+ESS into SessionStats).
+struct BudgetDiagnostics {
+  std::size_t current_budget = 0;   ///< particle count after the last apply
+  std::size_t occupied_bins = 0;    ///< k of the last run
+  std::size_t kld_target = 0;       ///< raw KLD bound before policy/clamps
+  double ess_fraction = 1.0;        ///< global ESS / budget at the last run
+  /// Strong (support >= 5%) modes at the last run that EVALUATED stability;
+  /// holds and grows skip the mean-shift signal, leaving these two stale.
+  std::size_t mode_count = 0;
+  bool modes_stable = false;        ///< stability window satisfied at that run
+  std::uint64_t controller_runs = 0;
+  std::uint64_t grow_events = 0;    ///< runs whose applied budget grew
+  std::uint64_t shrink_events = 0;  ///< runs whose applied budget shrank
+};
+
+class BudgetController {
+ public:
+  /// `bounds` is the surveillance area the occupancy grid tiles. cfg must
+  /// satisfy the same constraints FusionParticleFilter enforces on
+  /// FilterConfig (positive bounds/epsilon/quantile, min <= max); bin_size
+  /// must be positive (the caller resolves the 0 = derive default).
+  BudgetController(const AreaBounds& bounds, const BudgetControllerConfig& cfg);
+
+  /// One controller run: bins the particles, evaluates the KLD bound, the
+  /// ESS floor and (lazily) mode stability, and returns the budget the
+  /// filter should adopt (already clamped to [min, max], rate-limited and
+  /// hysteresis-filtered against `current`). `positions`/`weights` are the
+  /// filter's SoA views, `ess_fraction` = filter ESS / current. `modes` must
+  /// produce the RAW mean-shift estimate (pre detection gating — the
+  /// stability signal must see weak modes too); it is invoked ONLY when the
+  /// cheap signals propose a shrink, so a settled or growing budget never
+  /// pays for mean-shift. Deterministic: same inputs, same answer.
+  [[nodiscard]] std::size_t recommend(std::span<const Point2> positions,
+                                      std::span<const double> weights, double ess_fraction,
+                                      const std::function<std::vector<SourceEstimate>()>& modes,
+                                      std::size_t current);
+
+  [[nodiscard]] const BudgetDiagnostics& diagnostics() const { return diag_; }
+
+  /// The KLD-sampling bound: particles needed so the K-L divergence between
+  /// the sample distribution and the true posterior binned over k occupied
+  /// bins stays below epsilon with standard-normal confidence quantile z.
+  /// k <= 1 has zero degrees of freedom: returns 1.
+  [[nodiscard]] static std::size_t kld_sample_size(std::size_t occupied_bins, double epsilon,
+                                                   double quantile);
+
+ private:
+  [[nodiscard]] std::size_t count_occupied_bins(std::span<const Point2> positions,
+                                                std::span<const double> weights);
+  [[nodiscard]] bool update_mode_window(std::span<const SourceEstimate> modes);
+
+  BudgetControllerConfig cfg_;
+  AreaBounds bounds_;
+  std::size_t nx_ = 0, ny_ = 0;
+  std::vector<double> bin_mass_;          ///< nx*ny accumulator, cleared via touched_
+  std::vector<std::uint32_t> touched_;    ///< bins written this run
+  std::vector<Point2> prev_modes_;        ///< ALL mode positions of the previous run
+  std::vector<Point2> strong_modes_;      ///< scratch: modes above the support floor
+  std::size_t prev_strong_count_ = 0;     ///< strong-mode count of the previous run
+  bool have_prev_modes_ = false;
+  std::size_t stable_runs_ = 0;           ///< consecutive stable comparisons
+  std::size_t unstable_runs_ = 0;         ///< consecutive churning comparisons
+  std::size_t shrink_pressure_ = 0;       ///< consecutive runs proposing a shrink
+  BudgetDiagnostics diag_;
+};
+
+}  // namespace radloc

@@ -16,9 +16,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "radloc/adaptive/budget_controller.hpp"
 #include "radloc/concurrency/thread_pool.hpp"
 #include "radloc/filter/particle_filter.hpp"
 #include "radloc/meanshift/meanshift.hpp"
@@ -137,11 +139,29 @@ class MultiSourceLocalizer {
   [[nodiscard]] const LocalizerConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t iterations() const { return filter_.iteration(); }
 
+  /// Telemetry snapshot of the adaptive particle budget. With
+  /// cfg.filter.adaptive_budget off this still reports the (fixed) budget
+  /// and live ESS fraction; the controller fields stay at their defaults.
+  /// With it on, every cfg.filter.budget_adapt_interval-th reading runs the
+  /// BudgetController (occupied-bin KLD bound + ESS floor + raw mean-shift
+  /// mode stability) and applies its recommendation via
+  /// FusionParticleFilter::resize_budget — deterministic, so results remain
+  /// bit-identical across thread counts.
+  [[nodiscard]] BudgetDiagnostics budget_diagnostics() const;
+
  private:
+  /// Runs the budget controller when it is enabled and due this reading.
+  void maybe_adapt_budget();
+
   LocalizerConfig cfg_;
   ThreadPool pool_;
   FusionParticleFilter filter_;
   MeanShiftEstimator estimator_;
+  std::unique_ptr<BudgetController> budget_;  ///< null unless adaptive_budget
+  /// Reduced-seed mean-shift for the controller's stability signal (null
+  /// unless adaptive_budget): the controller only needs the strong clusters,
+  /// not estimate()'s full seed sweep, and it runs every adapt interval.
+  std::unique_ptr<MeanShiftEstimator> budget_estimator_;
   // Per-sensor ring buffers of the most recent readings (detection test).
   std::vector<std::vector<double>> recent_readings_;
   std::vector<std::size_t> recent_head_;

@@ -57,6 +57,60 @@ struct FilterConfig {
   /// Grid pitch (length units) of the memoized transmission field. Smaller
   /// is more accurate; the per-sensor build cost grows as 1/cell^2.
   double transmission_cache_cell = 2.0;
+
+  // --- ESS-gated resampling (adaptive/budget_controller.hpp rationale). ---
+
+  /// Skip the local systematic resample + jitter when the fusion subset's
+  /// effective sample size fraction ESS/|P'| exceeds this threshold — a
+  /// near-uniform subset gains nothing from resampling, so the pass (and its
+  /// RNG draws) is pure cost. Any value >= 1.0 disables the gate entirely:
+  /// the default path resamples every update, bit-identical to the seed.
+  double ess_resample_threshold = 1.0;
+
+  // --- Adaptive particle budget (KLD-sampling controller; opt-in). ---
+
+  /// Enable the budget controller: the localizer periodically resizes the
+  /// particle count between min_particles/max_particles based on posterior
+  /// complexity (occupied bins), ESS, and mean-shift mode stability. Off by
+  /// default: the filter keeps num_particles forever, exactly the seed.
+  bool adaptive_budget = false;
+
+  /// Budget bounds. With adaptive_budget on, num_particles (the starting
+  /// budget) must lie in [min_particles, max_particles].
+  std::size_t min_particles = 500;
+  std::size_t max_particles = 4000;
+
+  /// KLD-sampling bound (Fox 2003): with k occupied bins the target count is
+  /// (k-1)/(2*eps) * (1 - 2/(9(k-1)) + sqrt(2/(9(k-1))) * z)^3, the particle
+  /// count needed to keep the K-L divergence between the sample distribution
+  /// and the binned posterior below eps with confidence quantile z.
+  double kld_epsilon = 0.05;
+  /// Upper standard-normal quantile z_{1-delta}; 2.33 is the 99% bound.
+  double kld_quantile = 2.33;
+
+  /// Bin pitch for the occupancy count, in length units. 0 (default) derives
+  /// fusion_range / 4 — finer than the particle index so a fusion disk spans
+  /// several bins and occupancy tracks posterior spread, not disk count.
+  double budget_bin_size = 0.0;
+
+  /// Controller cadence: run once every this many filter iterations
+  /// (readings). The default ~ two thirds of a time step of the paper's 6x6
+  /// grid, frequent enough that the budget settles within a few steps.
+  std::size_t budget_adapt_interval = 24;
+
+  /// Shrinking requires this many consecutive controller runs with a stable
+  /// strong-mode set (count within +/-1, displacement under
+  /// budget_mode_displacement); the same number of consecutive CHURNING runs
+  /// grows the budget instead — hysteresis in both directions.
+  std::size_t budget_stability_window = 2;
+
+  /// Max nearest-mode displacement (length units) between consecutive
+  /// controller runs for the mode set to still count as stable.
+  double budget_mode_displacement = 5.0;
+
+  /// Degeneracy alarm: global ESS fraction below this floor grows the budget
+  /// by 1.5x toward max_particles regardless of the KLD target.
+  double budget_ess_floor = 0.25;
 };
 
 }  // namespace radloc

@@ -37,6 +37,31 @@ FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<S
           "random replacement fraction must be in [0, 1)");
   require(cfg_.strength_min > 0.0 && cfg_.strength_max >= cfg_.strength_min,
           "strength prior range invalid");
+  // Budget fields are validated unconditionally — a config that would blow
+  // up the moment adaptive_budget flips on is rejected up front, matching
+  // the MeasurementValidator philosophy of failing at the choke point.
+  require(std::isfinite(cfg_.ess_resample_threshold) && cfg_.ess_resample_threshold > 0.0,
+          "ESS resample threshold must be finite and positive");
+  require(cfg_.min_particles > 0 && cfg_.max_particles > 0, "particle budgets must be non-zero");
+  require(cfg_.min_particles <= cfg_.max_particles,
+          "min_particles must not exceed max_particles");
+  require(std::isfinite(cfg_.kld_epsilon) && cfg_.kld_epsilon > 0.0,
+          "KLD epsilon must be finite and positive");
+  require(std::isfinite(cfg_.kld_quantile) && cfg_.kld_quantile > 0.0,
+          "KLD quantile must be finite and positive");
+  require(std::isfinite(cfg_.budget_bin_size) && cfg_.budget_bin_size >= 0.0,
+          "budget bin size must be finite and non-negative");
+  require(cfg_.budget_adapt_interval > 0, "budget adapt interval must be non-zero");
+  require(cfg_.budget_stability_window > 0, "budget stability window must be non-zero");
+  require(std::isfinite(cfg_.budget_mode_displacement) && cfg_.budget_mode_displacement >= 0.0,
+          "budget mode displacement must be finite and non-negative");
+  require(std::isfinite(cfg_.budget_ess_floor) && cfg_.budget_ess_floor >= 0.0 &&
+              cfg_.budget_ess_floor <= 1.0,
+          "budget ESS floor must be in [0, 1]");
+  if (cfg_.adaptive_budget) {
+    require(cfg_.num_particles >= cfg_.min_particles && cfg_.num_particles <= cfg_.max_particles,
+            "num_particles must start inside [min_particles, max_particles]");
+  }
   // An empty sensor list is allowed: mobile-detector users feed readings
   // through process_reading() and never reference a sensor id.
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
@@ -50,6 +75,13 @@ FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<S
 
 void FusionParticleFilter::initialize_particles() {
   const std::size_t np = cfg_.num_particles;
+  if (cfg_.adaptive_budget) {
+    // Reserve the cap once so later resize_budget() calls never reallocate
+    // the SoA arrays — the zero-allocation steady state survives resizes.
+    positions_.reserve(cfg_.max_particles);
+    strengths_.reserve(cfg_.max_particles);
+    weights_.reserve(cfg_.max_particles);
+  }
   positions_.resize(np);
   strengths_.resize(np);
   weights_.assign(np, 1.0 / static_cast<double>(np));
@@ -256,6 +288,7 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     new_mass += subset_weights_[k];
   }
   if (new_mass <= 0.0 || !std::isfinite(new_mass)) return 0;  // degenerate update: skip
+  particles_scored_ += n;
 
   // Scale the posterior subset weights so the subset keeps its prior mass,
   // then write back. Global weights remain normalized.
@@ -264,8 +297,27 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     weights_[subset_[k]] = subset_weights_[k] * scale;
   }
 
+  // ESS gate: a near-uniform posterior subset gains nothing from resampling.
+  // ESS is scale-invariant, so it is computed on the unscaled posterior
+  // weights (new_mass is already their sum). Thresholds >= 1.0 short-circuit
+  // — no extra pass, no behavior change, bit-identical to the seed (FP
+  // rounding can push the fraction of an exactly uniform subset marginally
+  // above 1.0, so `frac > threshold` alone would not preserve that).
+  if (cfg_.ess_resample_threshold < 1.0) {
+    double sum_sq = 0.0;
+    for (std::size_t k = 0; k < n; ++k) sum_sq += subset_weights_[k] * subset_weights_[k];
+    if (sum_sq > 0.0 &&
+        new_mass * new_mass > cfg_.ess_resample_threshold * static_cast<double>(n) * sum_sq) {
+      // Skip the resample: no RNG consumed; positions unchanged by this
+      // branch, so the grid stays valid unless predict already dirtied it.
+      ++resamples_skipped_;
+      return subset_.size();
+    }
+  }
+
   // --- Resample P'' locally (Sec. V-E). ---
   resample_subset(subset_, subset_mass_before);
+  ++resamples_performed_;
   grid_dirty_ = true;
 
   return subset_.size();
@@ -318,6 +370,53 @@ void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset
     strengths_[slot] = drawn[k].strength;
     weights_[slot] = w;
   }
+}
+
+std::size_t FusionParticleFilter::resize_budget(std::size_t count) {
+  require(count > 0, "particle budget must be non-zero");
+  const std::size_t old_count = positions_.size();
+  if (count == old_count) return old_count;  // no-op: no RNG consumed
+
+  // Systematic resample over the FULL population re-represents the posterior
+  // at the new budget; duplicates get the same regularization jitter as the
+  // local resample (shrinking concentrates picks, growing duplicates them —
+  // jitter keeps diversity either way). No random replacement: a resize is a
+  // re-representation, not a filter iteration, so source-appearance
+  // exploration stays the local resample's job.
+  systematic_resample(rng_, weights_, count, picks_);
+  auto& drawn = drawn_;
+  drawn.clear();
+  drawn.reserve(picks_.size());
+  std::uint32_t prev = std::numeric_limits<std::uint32_t>::max();
+  for (const auto i : picks_) {
+    Drawn d{positions_[i], strengths_[i]};
+    if (i == prev) {
+      d.pos.x += normal(rng_, 0.0, cfg_.resample_noise_sigma);
+      d.pos.y += normal(rng_, 0.0, cfg_.resample_noise_sigma);
+      d.pos = env_->bounds().clamp(d.pos);
+      if (cfg_.strength_jitter_sigma > 0.0) {
+        d.strength *= std::exp(normal(rng_, 0.0, cfg_.strength_jitter_sigma));
+        d.strength = std::clamp(d.strength, cfg_.strength_min, cfg_.strength_max);
+      }
+    }
+    prev = i;
+    drawn.push_back(d);
+  }
+
+  positions_.resize(count);
+  strengths_.resize(count);
+  weights_.resize(count);
+  simd::assert_vector_aligned(positions_.data());
+  simd::assert_vector_aligned(strengths_.data());
+  simd::assert_vector_aligned(weights_.data());
+  const double w = 1.0 / static_cast<double>(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    positions_[k] = drawn[k].pos;
+    strengths_[k] = drawn[k].strength;
+    weights_[k] = w;
+  }
+  grid_dirty_ = true;
+  return count;
 }
 
 }  // namespace radloc

@@ -123,6 +123,22 @@ class FusionParticleFilter {
   /// diagnostic (exposed for tests and ablations).
   [[nodiscard]] double effective_sample_size() const;
 
+  /// Resamples the WHOLE population down/up to `count` particles (systematic
+  /// over the global weights, duplicate jitter as in the local resample, no
+  /// random replacement) and resets weights to uniform 1/count. The budget
+  /// controller's resize primitive; also usable directly. `count` must be
+  /// in [1, max_particles] when adaptive_budget is on (capacity for
+  /// max_particles is reserved up front so steady-state resizes do not
+  /// allocate). Returns the new size.
+  std::size_t resize_budget(std::size_t count);
+
+  // Work/skip counters for the throughput diagnostics and benches.
+  /// Cumulative |P'| over all scored readings (particles-per-reading numerator).
+  [[nodiscard]] std::uint64_t particles_scored() const { return particles_scored_; }
+  /// Resample passes run vs skipped by the ESS gate (ess_resample_threshold).
+  [[nodiscard]] std::uint64_t resamples_performed() const { return resamples_performed_; }
+  [[nodiscard]] std::uint64_t resamples_skipped() const { return resamples_skipped_; }
+
  private:
   void initialize_particles();
   [[nodiscard]] double hypothesis_rate(const Point2& at, const SensorResponse& response,
@@ -153,6 +169,9 @@ class FusionParticleFilter {
   GridIndex grid_;
   bool grid_dirty_ = true;
   std::uint64_t iteration_ = 0;
+  std::uint64_t particles_scored_ = 0;
+  std::uint64_t resamples_performed_ = 0;
+  std::uint64_t resamples_skipped_ = 0;
 
   // Scratch buffers reused across iterations: after warmup, a reading must
   // not allocate (tests/test_alloc_steady.cpp pins this).

@@ -33,7 +33,8 @@ struct SessionManager::Session {
           std::uint64_t seed, ThreadPool* pool)
       : cfg(config),
         localizer(env, std::move(sensors), config.localizer, seed, pool),
-        validator(localizer.filter().sensors().size()) {}
+        validator(localizer.filter().sensors().size()),
+        current_budget(localizer.filter().size()) {}
 
   SessionConfig cfg;
   MultiSourceLocalizer localizer;
@@ -52,6 +53,9 @@ struct SessionManager::Session {
   // latencies (µs). head is the next overwrite slot once the ring is full.
   std::vector<double> latency_us;
   std::size_t latency_head = 0;
+  // Budget telemetry snapshotted at the end of each drain (guarded by mu).
+  std::size_t current_budget = 0;
+  double ess_fraction = 1.0;
 
   /// Serializes drains (and estimates) of this session, so one session's
   /// readings never apply concurrently or out of queue order. Distinct from
@@ -161,10 +165,15 @@ std::size_t SessionManager::drain_session(Session& s) {
       });
 
   const std::size_t drained = s.batch.size();
+  // Still under drain_mu — safe to read the localizer here, not in stats().
+  const std::size_t budget = s.localizer.filter().size();
+  const double ess = s.localizer.filter().effective_sample_size();
   {
     const std::lock_guard lock(s.mu);
     s.processed += drained;
     s.applied += result.processed;
+    s.current_budget = budget;
+    s.ess_fraction = budget > 0 ? ess / static_cast<double>(budget) : 0.0;
     for (const double us : s.batch_latency_us) {
       if (s.latency_us.size() < s.cfg.latency_window) {
         s.latency_us.push_back(us);
@@ -228,6 +237,8 @@ SessionStats SessionManager::stats(SessionId id) const {
     // the counter can come from the mu-guarded tally — reading
     // localizer.iterations() here would race an in-flight drain.
     out.filter_iterations = s->applied;
+    out.current_budget = s->current_budget;
+    out.ess_fraction = s->ess_fraction;
     samples = s->latency_us;
   }
   out.latency_samples = samples.size();

@@ -112,6 +112,15 @@ struct SessionStats {
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   std::size_t latency_samples = 0;
+  /// Particle budget and ESS fraction recorded at the END of the last drain
+  /// (before any drain: the configured num_particles and 1.0). With
+  /// adaptive_budget on this is the live multiplier an operator watches: a
+  /// session whose scenario has converged runs near min_particles while a
+  /// hard one holds the cap. Snapshotted into mu-guarded fields by the
+  /// drain itself — stats() never reads the localizer (that would race an
+  /// in-flight drain).
+  std::size_t current_budget = 0;
+  double ess_fraction = 1.0;
 };
 
 /// Multiplexes many independent MultiSourceLocalizer sessions over one

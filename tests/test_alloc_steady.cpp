@@ -130,6 +130,50 @@ TEST(SteadyStateAllocation, CachedObstacleReadingsAreAllocationFree) {
   run_steady_state_scenario(/*cached_obstacles=*/true);
 }
 
+TEST(SteadyStateAllocation, AdaptiveBudgetResizesAreAllocationFree) {
+  // The adaptive budget's steady state cycles resize_budget() between a
+  // small set of recurring sizes. initialize_particles reserves
+  // max_particles capacity up front and resize_budget reuses the picks_/
+  // drawn_ scratch, so once every recurring size has been visited (and each
+  // size's fusion subset processed once), the resize+process cycle must not
+  // allocate.
+  Environment env(make_area(60, 60));
+  auto sensors = place_grid(env.bounds(), 4, 4);
+  set_background(sensors, 5.0);
+
+  FilterConfig cfg;
+  cfg.num_particles = 1024;
+  cfg.fusion_range = 200.0;  // covers the whole area: |P'| is deterministic
+  cfg.adaptive_budget = true;
+  cfg.min_particles = 256;
+  cfg.max_particles = 1024;
+  FusionParticleFilter filter(env, sensors, cfg, Rng(13));
+
+  MeasurementSimulator sim(env, sensors, {{{20, 40}, 50.0}, {{45, 15}, 50.0}});
+  Rng noise(14);
+  std::vector<Measurement> stream;
+  for (int step = 0; step < 2; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) stream.push_back(m);
+  }
+
+  const std::size_t cycle[] = {256, 1024, 512, 256};
+  // Warm-up: visit every recurring size and process the stream at each.
+  for (const std::size_t count : cycle) {
+    (void)filter.resize_budget(count);
+    for (const auto& m : stream) (void)filter.process(m);
+  }
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (const std::size_t count : cycle) {
+    (void)filter.resize_budget(count);
+    for (const auto& m : stream) (void)filter.process(m);
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0)
+      << "adaptive resize+process cycle allocated at steady state";
+}
+
 TEST(SteadyStateAllocation, CounterSeesOrdinaryAllocations) {
   // Sanity check of the harness itself: a vector growing under counting
   // must register, or the zero assertions above would be vacuous.

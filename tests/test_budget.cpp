@@ -1,0 +1,592 @@
+// Adaptive particle budget: KLD controller, ESS-gated resampling, and
+// FusionParticleFilter::resize_budget (DESIGN.md §5.9).
+//
+// Contracts under test:
+//   * the fixed-budget default is bit-identical to the seed (FNV-1a
+//     fingerprint of the full particle state after a canonical stream,
+//     captured from the unmodified seed build under the scalar tier);
+//   * FilterConfig budget fields are validated at construction;
+//   * the KLD bound is monotone in the bin count and the epsilon;
+//   * the controller shrinks concentrated stable posteriors to the floor,
+//     grows spread ones immediately, grows on persistent mode churn and on
+//     ESS collapse, holds inside the hysteresis band — and only invokes the
+//     (expensive) mode callback when a persistent shrink is on the table;
+//   * resize_budget re-represents the posterior at the new count with
+//     uniform weights and aligned storage, and is a no-op (no RNG) at the
+//     current count;
+//   * the ESS gate at the default threshold (1.0) never skips a resample;
+//     below 1.0 it skips deterministically;
+//   * adaptive runs are bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "radloc/adaptive/budget_controller.hpp"
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/filter/particle_filter.hpp"
+#include "radloc/rng/distributions.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+#include "radloc/service/session_manager.hpp"
+#include "radloc/simd/aligned.hpp"
+#include "radloc/simd/simd.hpp"
+
+namespace radloc {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Seed bit-identity pin
+
+TEST(BudgetSeedIdentity, DefaultConfigMatchesSeedGolden) {
+  // Fingerprint captured from the seed build BEFORE this subsystem existed:
+  // same scenario, stream, seeds, and scalar tier. Any change to the default
+  // (fixed-budget, gate-off) per-reading path shows up here.
+  simd::force_tier(simd::Tier::kScalar);
+  const Scenario sc = make_scenario_a(10.0);
+  FilterConfig cfg;  // defaults — the seed's fixed-budget path
+  cfg.num_particles = 600;
+  cfg.fusion_range = sc.recommended_fusion_range;
+  FusionParticleFilter filter(sc.env, sc.sensors, cfg, Rng(42));
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng sim_rng(7);
+  for (int step = 0; step < 3; ++step) {
+    for (const Measurement& m : sim.sample_time_step(sim_rng)) (void)filter.process(m);
+  }
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto pos = filter.positions();
+  const auto str = filter.strengths();
+  const auto w = filter.weights();
+  h = fnv1a(h, pos.data(), pos.size() * sizeof(Point2));
+  h = fnv1a(h, str.data(), str.size_bytes());
+  h = fnv1a(h, w.data(), w.size_bytes());
+  simd::reset_tier();
+  EXPECT_EQ(h, 0xbf58403a314a0840ULL) << "default filter path drifted from the seed";
+  EXPECT_EQ(filter.resamples_skipped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+
+TEST(BudgetConfigValidation, RejectsInvalidBudgetFieldsAtConstruction) {
+  const Environment env(make_area(50, 50));
+  auto make = [&](auto mutate) {
+    FilterConfig cfg;
+    cfg.num_particles = 100;
+    mutate(cfg);
+    FusionParticleFilter f(env, {}, cfg, Rng(1));
+  };
+  EXPECT_THROW(make([](FilterConfig& c) { c.ess_resample_threshold = 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) {
+                 c.ess_resample_threshold = std::numeric_limits<double>::infinity();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.min_particles = 0; }), std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.max_particles = 0; }), std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) {
+                 c.min_particles = 200;
+                 c.max_particles = 100;
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.kld_epsilon = 0.0; }), std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) {
+                 c.kld_epsilon = std::numeric_limits<double>::quiet_NaN();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.kld_quantile = -1.0; }), std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.budget_bin_size = -2.0; }), std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.budget_adapt_interval = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.budget_stability_window = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.budget_mode_displacement = -1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](FilterConfig& c) { c.budget_ess_floor = 1.5; }), std::invalid_argument);
+  // Validation is unconditional, but the start-inside-bounds rule only
+  // applies once the controller is actually on.
+  EXPECT_NO_THROW(make([](FilterConfig& c) {
+    c.min_particles = 500;
+    c.max_particles = 4000;
+  }));
+  EXPECT_THROW(make([](FilterConfig& c) {
+                 c.adaptive_budget = true;
+                 c.min_particles = 500;
+                 c.max_particles = 4000;  // num_particles = 100 < min
+               }),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// KLD bound
+
+TEST(BudgetKld, SampleSizeMonotoneInBinsAndEpsilon) {
+  EXPECT_EQ(BudgetController::kld_sample_size(0, 0.05, 2.33), 1u);
+  EXPECT_EQ(BudgetController::kld_sample_size(1, 0.05, 2.33), 1u);
+  std::size_t prev = 0;
+  for (const std::size_t k : {2u, 5u, 20u, 100u, 500u}) {
+    const std::size_t n = BudgetController::kld_sample_size(k, 0.05, 2.33);
+    EXPECT_GT(n, prev) << "k=" << k;
+    prev = n;
+  }
+  // Looser epsilon and lower confidence both need fewer particles.
+  EXPECT_LT(BudgetController::kld_sample_size(100, 0.10, 2.33),
+            BudgetController::kld_sample_size(100, 0.05, 2.33));
+  EXPECT_LT(BudgetController::kld_sample_size(100, 0.05, 1.28),
+            BudgetController::kld_sample_size(100, 0.05, 2.33));
+}
+
+// ---------------------------------------------------------------------------
+// Controller policy (synthetic clouds, no filter)
+
+BudgetControllerConfig controller_cfg() {
+  BudgetControllerConfig cfg;
+  cfg.min_particles = 500;
+  cfg.max_particles = 4000;
+  cfg.bin_size = 7.0;
+  cfg.stability_window = 2;
+  return cfg;
+}
+
+/// Two tight clusters: a converged easy posterior (few occupied bins).
+void make_concentrated_cloud(std::vector<Point2>& positions, std::vector<double>& weights) {
+  Rng rng(5);
+  for (int c = 0; c < 2; ++c) {
+    const Point2 center = c == 0 ? Point2{20.0, 20.0} : Point2{80.0, 80.0};
+    for (int i = 0; i < 1000; ++i) {
+      positions.push_back({center.x + normal(rng, 0.0, 1.0), center.y + normal(rng, 0.0, 1.0)});
+      weights.push_back(1.0 / 2000.0);
+    }
+  }
+}
+
+std::vector<SourceEstimate> stable_modes() {
+  return {{{20.0, 20.0}, 10.0, 0.5}, {{80.0, 80.0}, 10.0, 0.5}};
+}
+
+TEST(BudgetController, ShrinksConcentratedStableCloudToTheFloor) {
+  const AreaBounds bounds = make_area(100, 100);
+  BudgetController ctl(bounds, controller_cfg());
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  make_concentrated_cloud(positions, weights);
+
+  std::size_t current = 2000;
+  for (int run = 0; run < 8; ++run) {
+    const std::size_t next =
+        ctl.recommend(positions, weights, 1.0, [] { return stable_modes(); }, current);
+    EXPECT_LE(next, current) << "run " << run;  // never grows on this input
+    current = next;
+  }
+  EXPECT_EQ(current, 500u) << "stable concentrated posterior must pin the floor";
+  EXPECT_GE(ctl.diagnostics().shrink_events, 2u);  // rate-limited, not one jump
+  EXPECT_EQ(ctl.diagnostics().grow_events, 0u);
+}
+
+TEST(BudgetController, GrowsSpreadCloudWithoutInvokingModeCallback) {
+  const AreaBounds bounds = make_area(100, 100);
+  BudgetController ctl(bounds, controller_cfg());
+  // Uniform cloud: every bin occupied, KLD target far above current.
+  Rng rng(6);
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  for (int i = 0; i < 4000; ++i) {
+    positions.push_back(uniform_point(rng, bounds));
+    weights.push_back(1.0 / 4000.0);
+  }
+  int callback_invocations = 0;
+  const std::size_t next = ctl.recommend(
+      positions, weights, 1.0,
+      [&] {
+        ++callback_invocations;
+        return stable_modes();
+      },
+      500);
+  EXPECT_GE(next, 2000u) << "spread posterior must grow toward the KLD target";
+  EXPECT_EQ(callback_invocations, 0) << "growth must not pay for mean-shift";
+  EXPECT_EQ(ctl.diagnostics().grow_events, 1u);
+}
+
+TEST(BudgetController, PersistentModeChurnGrowsInsteadOfShrinking) {
+  const AreaBounds bounds = make_area(100, 100);
+  BudgetController ctl(bounds, controller_cfg());
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  make_concentrated_cloud(positions, weights);
+
+  // Strong modes teleport every run: never stable, so despite constant
+  // shrink pressure the budget must first hold, then grow.
+  int run = 0;
+  std::size_t current = 2000;
+  std::size_t peak = current;
+  for (; run < 8; ++run) {
+    const double jump = 30.0 * static_cast<double>(run % 3);
+    current = ctl.recommend(
+        positions, weights, 1.0,
+        [&] {
+          return std::vector<SourceEstimate>{{{5.0 + jump, 50.0}, 10.0, 0.5},
+                                             {{95.0 - jump, 50.0}, 10.0, 0.5}};
+        },
+        current);
+    peak = std::max(peak, current);
+  }
+  EXPECT_GT(peak, 2000u) << "persistent churn must grow the budget";
+  EXPECT_EQ(ctl.diagnostics().shrink_events, 0u);
+}
+
+TEST(BudgetController, EssCollapseGrowsRegardlessOfConcentration) {
+  const AreaBounds bounds = make_area(100, 100);
+  BudgetController ctl(bounds, controller_cfg());
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  make_concentrated_cloud(positions, weights);
+  int callback_invocations = 0;
+  const std::size_t next = ctl.recommend(
+      positions, weights, /*ess_fraction=*/0.1,
+      [&] {
+        ++callback_invocations;
+        return stable_modes();
+      },
+      2000);
+  EXPECT_EQ(next, 3000u) << "ESS alarm grows 1.5x toward the cap";
+  EXPECT_EQ(callback_invocations, 0);
+}
+
+TEST(BudgetController, GrowthInsideTheHysteresisBandHolds) {
+  const AreaBounds bounds = make_area(100, 100);
+  auto cfg = controller_cfg();
+  cfg.min_particles = 100;  // keep the floor well below the KLD target
+  BudgetController ctl(bounds, cfg);
+  // Exactly 10 occupied bins (distinct 7-unit cells, one cluster each).
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  for (int b = 0; b < 10; ++b) {
+    for (int i = 0; i < 100; ++i) {
+      positions.push_back({3.5 + 7.0 * static_cast<double>(b), 3.5});
+      weights.push_back(1.0 / 1000.0);
+    }
+  }
+  const std::size_t kld = BudgetController::kld_sample_size(10, cfg.kld_epsilon,
+                                                            cfg.kld_quantile);
+  int callback_invocations = 0;
+  // Current a few percent BELOW the KLD target: the proposed growth sits
+  // inside the 12.5% band and must be suppressed on every run, without ever
+  // paying for the mean-shift callback.
+  const std::size_t current = kld - kld / 20;
+  for (int run = 0; run < 4; ++run) {
+    const std::size_t next = ctl.recommend(
+        positions, weights, 1.0,
+        [&] {
+          ++callback_invocations;
+          return stable_modes();
+        },
+        current);
+    EXPECT_EQ(next, current) << "run " << run;
+  }
+  EXPECT_EQ(callback_invocations, 0) << "band holds must not pay for mean-shift";
+  EXPECT_EQ(ctl.diagnostics().occupied_bins, 10u);
+  EXPECT_EQ(ctl.diagnostics().kld_target, kld);
+  EXPECT_EQ(ctl.diagnostics().grow_events, 0u);
+}
+
+TEST(BudgetController, InBandShrinkDescendsFreelyWithoutModeCallback) {
+  // A shrink within the 12.5% band is applied immediately — each step is
+  // small and cheap, and the free descent is what lets the occupancy
+  // feedback (fewer particles -> fewer occupied bins) walk an easy
+  // scenario's budget down to its KLD equilibrium. It must not pay for the
+  // mean-shift callback.
+  const AreaBounds bounds = make_area(100, 100);
+  auto cfg = controller_cfg();
+  cfg.min_particles = 100;  // keep the floor well below the KLD target
+  BudgetController ctl(bounds, cfg);
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  for (int b = 0; b < 10; ++b) {
+    for (int i = 0; i < 100; ++i) {
+      positions.push_back({3.5 + 7.0 * static_cast<double>(b), 3.5});
+      weights.push_back(1.0 / 1000.0);
+    }
+  }
+  const std::size_t kld = BudgetController::kld_sample_size(10, cfg.kld_epsilon,
+                                                            cfg.kld_quantile);
+  int callback_invocations = 0;
+  const std::size_t next = ctl.recommend(
+      positions, weights, 1.0,
+      [&] {
+        ++callback_invocations;
+        return stable_modes();
+      },
+      kld + kld / 10);
+  EXPECT_EQ(next, kld) << "in-band shrink must descend on the first proposal";
+  EXPECT_EQ(callback_invocations, 0);
+  EXPECT_EQ(ctl.diagnostics().shrink_events, 1u);
+}
+
+TEST(BudgetController, IsolatedLargeShrinkProposalHoldsWithoutModeCallback) {
+  // A single run proposing a larger-than-band shrink is occupancy noise
+  // until the pressure persists: the first proposal must hold AND must not
+  // invoke mean-shift.
+  const AreaBounds bounds = make_area(100, 100);
+  BudgetController ctl(bounds, controller_cfg());
+  std::vector<Point2> positions;
+  std::vector<double> weights;
+  make_concentrated_cloud(positions, weights);
+  int callback_invocations = 0;
+  const std::size_t next = ctl.recommend(
+      positions, weights, 1.0,
+      [&] {
+        ++callback_invocations;
+        return stable_modes();
+      },
+      2000);
+  EXPECT_EQ(next, 2000u);
+  EXPECT_EQ(callback_invocations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// resize_budget
+
+FusionParticleFilter make_adaptive_filter(const Environment& env,
+                                          const std::vector<Sensor>& sensors, std::size_t np,
+                                          std::uint64_t seed) {
+  FilterConfig cfg;
+  cfg.num_particles = np;
+  cfg.adaptive_budget = true;
+  cfg.min_particles = 50;
+  cfg.max_particles = 4000;
+  return FusionParticleFilter(env, sensors, cfg, Rng(seed));
+}
+
+TEST(ResizeBudget, ShrinkAndGrowKeepInvariants) {
+  const Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 4, 4);
+  set_background(sensors, 5.0);
+  auto filter = make_adaptive_filter(env, sensors, 1000, 3);
+
+  for (const std::size_t count : {300UL, 1500UL, 77UL}) {
+    EXPECT_EQ(filter.resize_budget(count), count);
+    ASSERT_EQ(filter.size(), count);
+    ASSERT_EQ(filter.positions().size(), count);
+    ASSERT_EQ(filter.strengths().size(), count);
+    EXPECT_TRUE(simd::is_vector_aligned(filter.positions().data()));
+    EXPECT_TRUE(simd::is_vector_aligned(filter.weights().data()));
+    const double uniform_w = 1.0 / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(filter.weights()[i], uniform_w);
+      EXPECT_TRUE(env.bounds().contains(filter.positions()[i])) << i;
+    }
+  }
+  EXPECT_THROW((void)filter.resize_budget(0), std::invalid_argument);
+}
+
+TEST(ResizeBudget, SameCountIsANoOpWithoutConsumingRng) {
+  const Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 4, 4);
+  set_background(sensors, 5.0);
+  auto a = make_adaptive_filter(env, sensors, 800, 9);
+  auto b = make_adaptive_filter(env, sensors, 800, 9);
+  EXPECT_EQ(a.resize_budget(800), 800u);  // no-op on a only
+
+  MeasurementSimulator sim(env, sensors, {{{30, 60}, 40.0}});
+  Rng noise(10);
+  std::vector<Measurement> stream;
+  for (int step = 0; step < 2; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) stream.push_back(m);
+  }
+  for (const auto& m : stream) {
+    (void)a.process(m);
+    (void)b.process(m);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.weights()[i], b.weights()[i]) << i;
+    ASSERT_EQ(a.positions()[i], b.positions()[i]) << i;
+  }
+}
+
+TEST(ResizeBudget, OddBudgetsSurviveEveryKernelTier) {
+  // Odd and n % 4 != 0 budgets exercise the SIMD kernels' padded-tail
+  // remainder path at every runtime tier the host supports. The filter must
+  // stay well-formed (normalized finite weights, in-bounds positions)
+  // through resize + process at each size.
+  std::vector<simd::Tier> tiers{simd::Tier::kScalar};
+  if (simd::detected_tier() >= simd::Tier::kSse2) tiers.push_back(simd::Tier::kSse2);
+  if (simd::detected_tier() >= simd::Tier::kAvx2) tiers.push_back(simd::Tier::kAvx2);
+
+  const Environment env(make_area(100, 100));
+  auto sensors = place_grid(env.bounds(), 4, 4);
+  set_background(sensors, 5.0);
+  MeasurementSimulator sim(env, sensors, {{{30, 60}, 40.0}});
+
+  for (const simd::Tier tier : tiers) {
+    simd::force_tier(tier);
+    FilterConfig cfg;
+    cfg.num_particles = 1021;
+    cfg.adaptive_budget = true;
+    cfg.min_particles = 1;
+    cfg.max_particles = 2048;
+    FusionParticleFilter filter(env, sensors, cfg, Rng(21));
+    Rng noise(22);
+    for (const std::size_t count : {1UL, 3UL, 257UL, 1021UL}) {
+      ASSERT_EQ(filter.resize_budget(count), count) << "tier " << static_cast<int>(tier);
+      for (const auto& m : sim.sample_time_step(noise)) (void)filter.process(m);
+      ASSERT_EQ(filter.size(), count);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_TRUE(std::isfinite(filter.weights()[i]));
+        ASSERT_GE(filter.weights()[i], 0.0);
+        sum += filter.weights()[i];
+        ASSERT_TRUE(env.bounds().contains(filter.positions()[i]));
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "tier " << static_cast<int>(tier) << " count " << count;
+    }
+    simd::reset_tier();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ESS-gated resampling
+
+TEST(EssGate, DefaultThresholdNeverSkipsBelowOneAlwaysDeterministic) {
+  const Scenario sc = make_scenario_a(10.0);
+  auto run = [&](double threshold) {
+    FilterConfig cfg;
+    cfg.num_particles = 600;
+    cfg.fusion_range = sc.recommended_fusion_range;
+    cfg.ess_resample_threshold = threshold;
+    FusionParticleFilter filter(sc.env, sc.sensors, cfg, Rng(42));
+    MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+    Rng sim_rng(7);
+    for (int step = 0; step < 3; ++step) {
+      for (const Measurement& m : sim.sample_time_step(sim_rng)) (void)filter.process(m);
+    }
+    return filter;
+  };
+
+  const auto gated_off = run(1.0);
+  EXPECT_EQ(gated_off.resamples_skipped(), 0u);
+  EXPECT_GT(gated_off.resamples_performed(), 0u);
+
+  const auto gated = run(0.5);
+  EXPECT_GT(gated.resamples_skipped(), 0u) << "a 0.5 gate must skip some resamples";
+  const auto gated_again = run(0.5);
+  ASSERT_EQ(gated.size(), gated_again.size());
+  for (std::size_t i = 0; i < gated.size(); ++i) {
+    ASSERT_EQ(gated.weights()[i], gated_again.weights()[i]) << i;
+    ASSERT_EQ(gated.positions()[i], gated_again.positions()[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Localizer integration
+
+LocalizerConfig adaptive_localizer_cfg(const Scenario& sc) {
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 1200;
+  cfg.filter.fusion_range = sc.recommended_fusion_range;
+  cfg.filter.adaptive_budget = true;
+  cfg.filter.min_particles = 400;
+  cfg.filter.max_particles = 1200;
+  cfg.filter.ess_resample_threshold = 0.5;
+  return cfg;
+}
+
+TEST(AdaptiveBudgetIntegration, EasyScenarioShrinksAndReportsDiagnostics) {
+  const Scenario sc = make_scenario_a(10.0);
+  MultiSourceLocalizer loc(sc.env, sc.sensors, adaptive_localizer_cfg(sc), 77);
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(78);
+  for (int t = 0; t < 12; ++t) {
+    for (const Measurement& m : sim.sample_time_step(noise)) loc.process(m);
+  }
+  const BudgetDiagnostics d = loc.budget_diagnostics();
+  EXPECT_LT(loc.filter().size(), 1200u) << "easy posterior must shrink the budget";
+  EXPECT_EQ(d.current_budget, loc.filter().size());
+  EXPECT_GT(d.controller_runs, 0u);
+  EXPECT_GE(d.shrink_events, 1u);
+  EXPECT_GT(d.occupied_bins, 0u);
+  EXPECT_GE(loc.filter().size(), 400u);
+}
+
+TEST(AdaptiveBudgetIntegration, BitIdenticalAcrossThreadCounts) {
+  const Scenario sc = make_scenario_a(10.0);
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(91);
+  std::vector<Measurement> stream;
+  for (int t = 0; t < 8; ++t) {
+    for (const Measurement& m : sim.sample_time_step(noise)) stream.push_back(m);
+  }
+
+  // MultiSourceLocalizer owns a ThreadPool and is not movable: snapshot the
+  // final particle state per thread count instead of keeping the localizers.
+  struct Snapshot {
+    std::size_t budget;
+    std::uint64_t controller_runs;
+    std::vector<Point2> positions;
+    std::vector<double> strengths;
+    std::vector<double> weights;
+  };
+  auto run = [&](std::size_t threads) {
+    LocalizerConfig cfg = adaptive_localizer_cfg(sc);
+    cfg.num_threads = threads;
+    MultiSourceLocalizer loc(sc.env, sc.sensors, cfg, 92);
+    for (const Measurement& m : stream) loc.process(m);
+    const auto& f = loc.filter();
+    return Snapshot{f.size(), loc.budget_diagnostics().controller_runs,
+                    {f.positions().begin(), f.positions().end()},
+                    {f.strengths().begin(), f.strengths().end()},
+                    {f.weights().begin(), f.weights().end()}};
+  };
+
+  const Snapshot base = run(1);
+  for (const std::size_t threads : {4UL, 8UL}) {
+    const Snapshot other = run(threads);
+    ASSERT_EQ(other.budget, base.budget) << "threads diverged the budget";
+    ASSERT_EQ(other.controller_runs, base.controller_runs);
+    for (std::size_t i = 0; i < base.budget; ++i) {
+      ASSERT_EQ(other.weights[i], base.weights[i]) << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(other.positions[i], base.positions[i]) << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(other.strengths[i], base.strengths[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(AdaptiveBudgetIntegration, SessionStatsSurfaceBudgetAndEss) {
+  const Scenario sc = make_scenario_a(10.0);
+  SessionConfig cfg;
+  cfg.localizer = adaptive_localizer_cfg(sc);
+  ThreadPool pool(2, 2);
+  SessionManager mgr(pool);
+  const auto id = mgr.open(sc.env, sc.sensors, cfg, 7);
+  EXPECT_EQ(mgr.stats(id).current_budget, 1200u) << "pre-drain stats report the start budget";
+
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(8);
+  for (int t = 0; t < 20; ++t) {
+    for (const Measurement& m : sim.sample_time_step(noise)) {
+      ASSERT_EQ(mgr.ingest(id, SessionReading{static_cast<double>(t), m}),
+                IngestStatus::kQueued);
+    }
+    (void)mgr.drain_all();
+  }
+  const SessionStats st = mgr.stats(id);
+  EXPECT_LT(st.current_budget, 1200u) << "drained adaptive session must have shrunk";
+  EXPECT_GE(st.current_budget, 400u);
+  EXPECT_GT(st.ess_fraction, 0.0);
+  EXPECT_LE(st.ess_fraction, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace radloc

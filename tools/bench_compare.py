@@ -25,7 +25,7 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = ["weight_update", "experiment_throughput", "session_multiplex"]
+DEFAULT_BENCHES = ["weight_update", "experiment_throughput", "session_multiplex", "adaptive_budget"]
 
 # Metric-name fragments that identify the "bigger is better" direction.
 HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput", "frac")

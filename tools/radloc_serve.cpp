@@ -19,6 +19,7 @@
 //   radloc_serve --replay t.csv --scenario A --sessions 4
 //
 // Run with --help for the full flag list.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -47,6 +48,7 @@ struct Options {
   std::size_t queue_capacity = 1024;
   bool drop_oldest = false;
   bool order_by_timestamp = false;
+  bool adaptive = false;
   std::uint64_t seed = 1;
 };
 
@@ -62,6 +64,9 @@ struct Options {
       "  --background <CPM>      per-sensor background (default 5)\n"
       "  --obstacles             enable the scenario's obstacles\n"
       "  --particles <n>         override per-session particle count\n"
+      "  --adaptive              adaptive particle budget per session (KLD\n"
+      "                          controller, min = particles/4, max = particles;\n"
+      "                          watch the budget/ess stats columns)\n"
       "  --queue-capacity <n>    per-session bounded ingest queue (default 1024)\n"
       "  --drop-oldest           backpressure evicts oldest instead of\n"
       "                          rejecting the newest reading\n"
@@ -100,6 +105,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--obstacles") opt.obstacles = true;
     else if (a == "--particles") opt.particles = std::stoul(next(i));
     else if (a == "--queue-capacity") opt.queue_capacity = std::stoul(next(i));
+    else if (a == "--adaptive") opt.adaptive = true;
     else if (a == "--drop-oldest") opt.drop_oldest = true;
     else if (a == "--order-by-timestamp") opt.order_by_timestamp = true;
     else if (a == "--dump-every") opt.dump_every = std::stoul(next(i));
@@ -145,13 +151,14 @@ void dump_estimates(SessionManager& mgr, const std::vector<SessionManager::Sessi
 
 void dump_stats(SessionManager& mgr, const std::vector<SessionManager::SessionId>& ids) {
   std::cout << "session  queued  ingested  processed  applied  malformed  full  dropped"
-               "  p50_us  p99_us\n";
+               "  p50_us  p99_us  budget  ess\n";
   for (const auto id : ids) {
     const SessionStats st = mgr.stats(id);
     std::cout << id << "  " << st.queue_depth << "  " << st.ingested << "  " << st.processed
               << "  " << st.applied << "  " << st.rejected_malformed << "  "
               << st.rejected_full << "  " << st.dropped_oldest << "  " << st.p50_latency_us
-              << "  " << st.p99_latency_us << "\n";
+              << "  " << st.p99_latency_us << "  " << st.current_budget << "  "
+              << st.ess_fraction << "\n";
   }
 }
 
@@ -263,6 +270,13 @@ int main(int argc, char** argv) {
   cfg.localizer.filter.num_particles =
       opt.particles ? *opt.particles : scenario.recommended_particles;
   cfg.localizer.filter.fusion_range = scenario.recommended_fusion_range;
+  if (opt.adaptive) {
+    auto& f = cfg.localizer.filter;
+    f.adaptive_budget = true;
+    f.max_particles = f.num_particles;
+    f.min_particles = std::max<std::size_t>(f.num_particles / 4, 50);
+    f.ess_resample_threshold = 0.5;
+  }
   cfg.queue_capacity = opt.queue_capacity;
   cfg.backpressure =
       opt.drop_oldest ? BackpressurePolicy::kDropOldest : BackpressurePolicy::kRejectNewest;
