@@ -56,9 +56,13 @@ MultiSourceLocalizer::MultiSourceLocalizer(const Environment& env, std::vector<S
   }
 }
 
-void MultiSourceLocalizer::maybe_adapt_budget() {
+void MultiSourceLocalizer::maybe_adapt_budget(std::uint64_t prev_iteration) {
   if (budget_ == nullptr) return;
-  if (filter_.iteration() % cfg_.filter.budget_adapt_interval != 0) return;
+  // Interval-crossing test: equivalent to iteration % interval == 0 when the
+  // iteration advanced by one, and fires exactly once when a fused group
+  // jumps it across a boundary.
+  const std::uint64_t interval = cfg_.filter.budget_adapt_interval;
+  if (prev_iteration / interval == filter_.iteration() / interval) return;
   const std::size_t current = filter_.size();
   const double ess_fraction =
       filter_.effective_sample_size() / static_cast<double>(current);
@@ -84,25 +88,35 @@ BudgetDiagnostics MultiSourceLocalizer::budget_diagnostics() const {
   return d;
 }
 
-void MultiSourceLocalizer::process(const Measurement& m) {
-  filter_.process(m);
-  // process() validated the sensor id. The ring buffer bounds the detection
+void MultiSourceLocalizer::note_reading(const Measurement& m) {
+  // Caller validated the sensor id. The ring buffer bounds the detection
   // history so evidence from a since-removed source gets flushed.
   auto& buf = recent_readings_[m.sensor];
   buf[recent_head_[m.sensor]] = m.cpm;
   recent_head_[m.sensor] = (recent_head_[m.sensor] + 1) % buf.size();
   recent_size_[m.sensor] = std::min(recent_size_[m.sensor] + 1, buf.size());
-  maybe_adapt_budget();
+}
+
+void MultiSourceLocalizer::apply_fused_group(std::span<const Measurement> group) {
+  const std::uint64_t prev = filter_.iteration();
+  (void)filter_.process_fused(group);
+  // Detection history sees every reading individually — the fusing is a
+  // weight-update implementation detail, not an evidence reduction.
+  for (const auto& m : group) note_reading(m);
+  maybe_adapt_budget(prev);
+}
+
+void MultiSourceLocalizer::process(const Measurement& m) {
+  filter_.process(m);
+  note_reading(m);
+  maybe_adapt_budget(filter_.iteration() - 1);
 }
 
 ReadingFault MultiSourceLocalizer::try_process(const Measurement& m) {
   const ReadingFault fault = filter_.try_process(m);
   if (fault != ReadingFault::kNone) return fault;
-  auto& buf = recent_readings_[m.sensor];
-  buf[recent_head_[m.sensor]] = m.cpm;
-  recent_head_[m.sensor] = (recent_head_[m.sensor] + 1) % buf.size();
-  recent_size_[m.sensor] = std::min(recent_size_[m.sensor] + 1, buf.size());
-  maybe_adapt_budget();
+  note_reading(m);
+  maybe_adapt_budget(filter_.iteration() - 1);
   return ReadingFault::kNone;
 }
 
@@ -117,23 +131,75 @@ void MultiSourceLocalizer::process_all(std::span<const Measurement> batch) {
                                   std::to_string(i) + ")");
     }
   }
-  for (const auto& m : batch) process(m);
+  if (!cfg_.filter.fused_batch_updates || !filter_.movement_is_static()) {
+    for (const auto& m : batch) process(m);
+    return;
+  }
+  // Fused ingest: consecutive same-sensor runs apply as one weight update.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].sensor == batch[i].sensor) ++j;
+    if (j - i == 1) {
+      process(batch[i]);
+    } else {
+      apply_fused_group(batch.subspan(i, j - i));
+    }
+    i = j;
+  }
 }
 
 BatchIngestResult MultiSourceLocalizer::try_process_all(
     std::span<const Measurement> batch,
     const std::function<void(std::size_t, ReadingFault)>& on_reading) {
   BatchIngestResult result;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const ReadingFault fault = try_process(batch[i]);
-    if (fault == ReadingFault::kNone) {
-      ++result.processed;
-    } else {
-      ++result.rejected;
-      ++result.fault_counts[static_cast<std::size_t>(fault)];
-      if (result.first_fault == ReadingFault::kNone) result.first_fault = fault;
-    }
+  const auto reject = [&](std::size_t i, ReadingFault fault) {
+    ++result.rejected;
+    ++result.fault_counts[static_cast<std::size_t>(fault)];
+    if (result.first_fault == ReadingFault::kNone) result.first_fault = fault;
     if (on_reading) on_reading(i, fault);
+  };
+  if (!cfg_.filter.fused_batch_updates || !filter_.movement_is_static()) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const ReadingFault fault = try_process(batch[i]);
+      if (fault == ReadingFault::kNone) {
+        ++result.processed;
+        if (on_reading) on_reading(i, fault);
+      } else {
+        reject(i, fault);
+      }
+    }
+    return result;
+  }
+  // Fused ingest: same-sensor runs of WELL-FORMED readings (probed with the
+  // const check — the filter's admit() still tallies each exactly once when
+  // the run applies) fuse into one update; malformed readings break the run
+  // and are tallied through the serial path as before.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const ReadingFault fault = filter_.validator().check(batch[i]);
+    if (fault != ReadingFault::kNone) {
+      reject(i, try_process(batch[i]));
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].sensor == batch[i].sensor &&
+           filter_.validator().check(batch[j]) == ReadingFault::kNone) {
+      ++j;
+    }
+    if (j - i == 1) {
+      (void)try_process(batch[i]);
+      ++result.processed;
+      if (on_reading) on_reading(i, ReadingFault::kNone);
+    } else {
+      apply_fused_group(batch.subspan(i, j - i));
+      result.processed += j - i;
+      if (on_reading) {
+        for (std::size_t k = i; k < j; ++k) on_reading(k, ReadingFault::kNone);
+      }
+    }
+    i = j;
   }
   return result;
 }

@@ -106,7 +106,9 @@ class MultiSourceLocalizer {
   /// std::invalid_argument (naming the fault and the offending index) with
   /// the filter state untouched — never half a batch applied with no record
   /// of progress. Feeds that expect malformed readings should use
-  /// try_process_all instead.
+  /// try_process_all instead. With cfg.filter.fused_batch_updates set (and a
+  /// static movement model), consecutive same-sensor runs are applied as one
+  /// fused weight update each (FusionParticleFilter::process_fused).
   void process_all(std::span<const Measurement> batch);
 
   /// Non-throwing batch ingestion — the streaming-service drain path:
@@ -114,7 +116,11 @@ class MultiSourceLocalizer {
   /// tallies each malformed one per fault kind, and reports the outcome.
   /// `on_reading`, when set, is invoked after each reading's verdict (index,
   /// fault) — the hook the service layer uses to stamp per-reading latency
-  /// without a second pass.
+  /// without a second pass. With cfg.filter.fused_batch_updates set (and a
+  /// static movement model), consecutive same-sensor runs of well-formed
+  /// readings fuse into one weight update; a malformed reading breaks the
+  /// run. Callback order and per-reading tallies are unchanged (a fused
+  /// run's callbacks fire after the run applies, still in batch order).
   BatchIngestResult try_process_all(
       std::span<const Measurement> batch,
       const std::function<void(std::size_t, ReadingFault)>& on_reading = nullptr);
@@ -150,8 +156,18 @@ class MultiSourceLocalizer {
   [[nodiscard]] BudgetDiagnostics budget_diagnostics() const;
 
  private:
-  /// Runs the budget controller when it is enabled and due this reading.
-  void maybe_adapt_budget();
+  /// Runs the budget controller when it is enabled and the adapt interval
+  /// was crossed between `prev_iteration` and the filter's current
+  /// iteration. For single readings (prev = current - 1) this fires exactly
+  /// when iteration % interval == 0, the historical cadence; fused groups
+  /// advance the iteration by K at once and still fire at most once per
+  /// crossing instead of skipping boundaries that fall inside the jump.
+  void maybe_adapt_budget(std::uint64_t prev_iteration);
+  /// Records `m` in the per-sensor detection-history ring.
+  void note_reading(const Measurement& m);
+  /// Applies a validated same-sensor run as one fused update, then updates
+  /// the detection history and budget cadence for every reading in it.
+  void apply_fused_group(std::span<const Measurement> group);
 
   LocalizerConfig cfg_;
   ThreadPool pool_;

@@ -58,6 +58,35 @@ struct FilterConfig {
   /// is more accurate; the per-sensor build cost grows as 1/cell^2.
   double transmission_cache_cell = 2.0;
 
+  // --- Generation-versioned scoring cache + fused same-sensor updates. ---
+
+  /// Capacity (entries) of the per-sensor scoring cache: each entry memoizes
+  /// one origin's fusion subset and Eq.-1/Eq.-3 hypothesis rates, valid while
+  /// the particle generation is unchanged (no resample/jitter/evolve/resize
+  /// since they were computed — the ESS resample gate is what creates long
+  /// same-generation stretches). A hit skips the spatial query, the SoA
+  /// gather, the transmission lookups, and the rate kernel, and jumps
+  /// straight to the Poisson scoring — bit-identical to recomputing, so the
+  /// knob is pure speed. 0 (default) disables the cache: the seed path.
+  /// The RADLOC_SCORING_CACHE environment variable, when set to a positive
+  /// entry count, overrides a default-0 config (benches/CI force the cache
+  /// on fleet-wide without touching configs; an explicit non-zero config
+  /// value always wins).
+  std::size_t scoring_cache_entries = 0;
+
+  /// Fuse consecutive same-sensor readings in the batch ingest paths
+  /// (process_all / try_process_all and the service drain) into ONE weight
+  /// update: log-likelihoods add, so K readings cost one subset traversal,
+  /// one exp/renormalize pass, and at most one resample instead of K. The
+  /// fused posterior equals the serial one up to floating-point reordering
+  /// (tolerance-pinned, DESIGN.md §5.10) and up to resample placement: the
+  /// serial path may resample between the K readings, the fused path at most
+  /// once after them — both are valid filter iterations over the same
+  /// evidence. Requires a static movement model (per-reading prediction
+  /// would be skipped otherwise; the filter falls back to serial updates
+  /// when a non-static model is set). Default off: the seed path.
+  bool fused_batch_updates = false;
+
   // --- ESS-gated resampling (adaptive/budget_controller.hpp rationale). ---
 
   /// Skip the local systematic resample + jitter when the fusion subset's

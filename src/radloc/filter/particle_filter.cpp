@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "radloc/common/math.hpp"
@@ -18,6 +20,26 @@ namespace {
 // Grid pitch for the particle index: half the fusion range balances cell
 // occupancy against the number of cells scanned per query.
 double index_cell_size(const FilterConfig& cfg) { return std::max(cfg.fusion_range / 2.0, 1.0); }
+
+// RADLOC_SCORING_CACHE: entry-count override applied only when the config
+// leaves scoring_cache_entries at its default 0 (safe fleet-wide because a
+// cache hit is bit-identical to recomputing). Read per call — constructors
+// are cold — and clamped to a sane entry count.
+std::size_t env_scoring_cache_entries() {
+  const char* v = std::getenv("RADLOC_SCORING_CACHE");
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr,
+                 "radloc: ignoring unrecognized RADLOC_SCORING_CACHE='%s' "
+                 "(expected an entry count); cache stays off\n",
+                 v);
+    return 0;
+  }
+  constexpr unsigned long long kMaxEntries = 4096;
+  return static_cast<std::size_t>(std::min(n, kMaxEntries));
+}
 
 }  // namespace
 
@@ -70,6 +92,9 @@ FusionParticleFilter::FusionParticleFilter(const Environment& env, std::vector<S
   if (cfg_.use_known_obstacles && cfg_.use_transmission_cache) {
     cache_ = std::make_unique<TransmissionCache>(*env_, cfg_.transmission_cache_cell);
   }
+  scoring_cache_capacity_ =
+      cfg_.scoring_cache_entries > 0 ? cfg_.scoring_cache_entries : env_scoring_cache_entries();
+  score_cache_.reserve(std::min<std::size_t>(scoring_cache_capacity_, 64));
   initialize_particles();
 }
 
@@ -125,6 +150,9 @@ double FusionParticleFilter::hypothesis_rate(const Point2& at, const SensorRespo
 void FusionParticleFilter::set_movement_model(std::unique_ptr<MovementModel> model) {
   require(model != nullptr, "movement model must not be null");
   movement_ = std::move(model);
+  // Hoisted once here instead of a dynamic_cast per reading in the predict
+  // step; also gates the scoring cache and fused updates.
+  movement_is_static_ = dynamic_cast<const StaticMovement*>(movement_.get()) != nullptr;
 }
 
 double FusionParticleFilter::effective_sample_size() const {
@@ -165,7 +193,132 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
                                                        const SensorResponse& response,
                                                        double cpm) {
   ++iteration_;
+  // log(cpm!) is constant across the subset — pay lgamma once, not per
+  // particle (PoissonLogPmf evaluates bit-identically to poisson_log_pmf).
+  const PoissonLogPmf log_pmf(cpm);
+  return score_reading(at, response, log_pmf.count(), 1.0, log_pmf.log_k_factorial());
+}
 
+std::size_t FusionParticleFilter::process_fused(std::span<const Measurement> group) {
+  if (group.empty()) return 0;
+  // Every reading is validated and tallied exactly as process() would; a
+  // fault anywhere rejects the whole group before any state changes.
+  for (const auto& m : group) {
+    MeasurementValidator::enforce(validator_.admit(m));
+  }
+  for (const auto& m : group) {
+    require(m.sensor == group.front().sensor, "fused group must share one sensor");
+  }
+  const Sensor& sensor = sensors_[group.front().sensor];
+  if (group.size() == 1) {
+    // Bit-for-bit the plain path: 1.0 * lambda is exact, same association.
+    return process_reading_impl(sensor.pos, sensor.response, group.front().cpm);
+  }
+  require(movement_is_static_,
+          "fused updates require a static movement model (per-reading prediction "
+          "cannot be batched)");
+  // The K readings share one hypothesis-rate vector, so their per-particle
+  // log-likelihoods add: sum_j [k_j log(l) - l - log(k_j!)]
+  //                    = k_sum log(l) - K*l - sum_j log(k_j!).
+  double k_sum = 0.0;
+  double log_fact_sum = 0.0;
+  for (const auto& m : group) {
+    const PoissonLogPmf log_pmf(m.cpm);
+    k_sum += log_pmf.count();
+    log_fact_sum += log_pmf.log_k_factorial();
+  }
+  iteration_ += group.size();  // the stream clock counts readings, not updates
+  ++fused_groups_;
+  fused_readings_ += group.size();
+  return score_reading(sensor.pos, sensor.response, k_sum, static_cast<double>(group.size()),
+                       log_fact_sum);
+}
+
+FusionParticleFilter::CacheEntry* FusionParticleFilter::cache_find(const Point2& at,
+                                                                   const SensorResponse& response) {
+  ++cache_lookups_;
+  ++cache_tick_;
+  for (auto& e : score_cache_) {
+    if (e.valid && e.origin.x == at.x && e.origin.y == at.y &&
+        e.efficiency == response.efficiency && e.background == response.background_cpm &&
+        e.generation == particle_generation_ && e.env_revision == env_->revision()) {
+      e.last_used = cache_tick_;
+      ++cache_hits_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+FusionParticleFilter::CacheEntry* FusionParticleFilter::cache_begin_store(
+    const Point2& at, const SensorResponse& response) {
+  CacheEntry* victim = nullptr;
+  // Reuse the slot already keyed to this origin (stale or not) so a sensor
+  // never occupies two entries; else an unused slot; else grow; else LRU.
+  for (auto& e : score_cache_) {
+    if (e.origin.x == at.x && e.origin.y == at.y && e.efficiency == response.efficiency &&
+        e.background == response.background_cpm) {
+      victim = &e;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    for (auto& e : score_cache_) {
+      if (!e.valid) {
+        victim = &e;
+        break;
+      }
+    }
+  }
+  if (victim == nullptr && score_cache_.size() < scoring_cache_capacity_) {
+    victim = &score_cache_.emplace_back();
+  }
+  if (victim == nullptr) {
+    victim = &*std::min_element(
+        score_cache_.begin(), score_cache_.end(),
+        [](const CacheEntry& a, const CacheEntry& b) { return a.last_used < b.last_used; });
+  }
+  victim->valid = false;
+  return victim;
+}
+
+void FusionParticleFilter::cache_commit(CacheEntry& e, const Point2& at,
+                                        const SensorResponse& response) {
+  e.origin = at;
+  e.efficiency = response.efficiency;
+  e.background = response.background_cpm;
+  e.generation = particle_generation_;
+  e.env_revision = env_->revision();
+  e.last_used = cache_tick_;
+  e.valid = true;
+}
+
+std::size_t FusionParticleFilter::score_reading(const Point2& at, const SensorResponse& response,
+                                                double k_sum, double reps, double log_fact_sum) {
+  if (cache_enabled()) {
+    if (CacheEntry* hit = cache_find(at, response)) {
+      // Skip the spatial query, the gather, the transmission lookups, and
+      // the rate kernel; the Poisson scoring still runs against the CURRENT
+      // weights. An empty memoized subset is the cheapest hit of all.
+      if (hit->subset.empty()) return 0;
+      return apply_scores(hit->subset, hit->rates, k_sum, reps, log_fact_sum, hit->kernel_pmf);
+    }
+    CacheEntry* e = cache_begin_store(at, response);
+    const bool nonempty = select_and_rate(at, response, e->rates, e->kernel_pmf);
+    e->subset.assign(subset_.begin(), subset_.end());
+    if (!nonempty) e->rates.clear();
+    cache_commit(*e, at, response);
+    if (!nonempty) return 0;
+    return apply_scores(e->subset, e->rates, k_sum, reps, log_fact_sum, e->kernel_pmf);
+  }
+  bool kernel_pmf = false;
+  if (!select_and_rate(at, response, rates_scratch_, kernel_pmf)) return 0;
+  return apply_scores(subset_, rates_scratch_, k_sum, reps, log_fact_sum, kernel_pmf);
+}
+
+bool FusionParticleFilter::select_and_rate(const Point2& at, const SensorResponse& response,
+                                           simd::AVector<double>& rates_out,
+                                           bool& kernel_pmf_out) {
   if (grid_dirty_) {
     grid_.rebuild(positions_);
     grid_dirty_ = false;
@@ -173,28 +326,17 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
 
   // --- Selection (Eq. 5): P' = particles within the fusion range. ---
   grid_.query_radius(positions_, at, cfg_.fusion_range, subset_);
-  if (subset_.empty()) return 0;
+  if (subset_.empty()) return false;
 
   // --- Predict: evolve the selected hypotheses. ---
-  const bool static_model = dynamic_cast<const StaticMovement*>(movement_.get()) != nullptr;
-  if (!static_model) {
+  if (!movement_is_static_) {
     for (const auto i : subset_) {
       movement_->evolve(rng_, positions_[i], strengths_[i]);
       positions_[i] = env_->bounds().clamp(positions_[i]);
     }
     grid_dirty_ = true;
+    ++particle_generation_;
   }
-
-  // --- Weight update (Sec. V-C), computed in log space. ---
-  // Raw likelihoods can underflow for wildly wrong hypotheses; we rescale by
-  // the subset max log-likelihood. The subset's *total* mass is preserved
-  // explicitly below, so the rescaling cannot tilt the subset-vs-rest
-  // balance (the paper normalizes globally after merging; preserving subset
-  // mass keeps the same invariant without underflow).
-  const double subset_mass_before =
-      std::accumulate(subset_.begin(), subset_.end(), 0.0,
-                      [&](double acc, std::uint32_t i) { return acc + weights_[i]; });
-  if (subset_mass_before <= 0.0) return 0;
 
   // The transmission field for this origin is prepared serially here; the
   // parallel loop below only reads it. A borrowed shared cache (prepared up
@@ -208,19 +350,17 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     field = cache_->prepare(at);
   }
 
-  // log(cpm!) is constant across the subset — pay lgamma once, not per
-  // particle (PoissonLogPmf evaluates bit-identically to poisson_log_pmf).
-  const PoissonLogPmf log_pmf(cpm);
   const std::size_t n = subset_.size();
-  subset_weights_.resize(n);
+  rates_out.resize(n);
   const simd::Kernels& ker = simd::kernels();
 
-  // Scoring runs through the batch kernels (simd/simd.hpp) whenever the
-  // rate is pure arithmetic: free space, or the cached Eq. (3) path whose
+  // Rates run through the batch kernels (simd/simd.hpp) whenever the rate
+  // is pure arithmetic: free space, or the cached Eq. (3) path whose
   // transmissions are bilinear lookups. Obstacle geometry without a cache
   // field keeps the per-particle exact path. The scalar tier replays the
   // seed expressions bit for bit; vector tiers are an explicit opt-in.
   const bool batched = !cfg_.use_known_obstacles || field != nullptr;
+  kernel_pmf_out = batched;
   if (batched) {
     scratch_x_.resize(n);
     scratch_y_.resize(n);
@@ -228,11 +368,10 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     const bool use_field = cfg_.use_known_obstacles;
     if (use_field) scratch_t_.resize(n);
     simd::assert_vector_aligned(scratch_x_.data());
-    simd::assert_vector_aligned(subset_weights_.data());
+    simd::assert_vector_aligned(rates_out.data());
     const double scale = kMicroCurieToCpm * response.efficiency;
-    const simd::BilinearGrid grid =
-        use_field ? cache->grid_view(*field) : simd::BilinearGrid{};
-    const auto score_chunk = [&](std::size_t begin, std::size_t end) {
+    const simd::BilinearGrid grid = use_field ? cache->grid_view(*field) : simd::BilinearGrid{};
+    const auto rate_chunk = [&](std::size_t begin, std::size_t end) {
       const std::size_t len = end - begin;
       if (len == 0) return;
       double* gx = scratch_x_.data() + begin;
@@ -250,32 +389,71 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
         ker.bilinear(grid, gx, gy, t, len);
         gt = t;
       }
-      double* out = subset_weights_.data() + begin;
-      ker.hypothesis_rates(at.x, at.y, scale, response.background_cpm, gx, gy, gs, gt, out,
-                           len);
-      ker.poisson_log_pmf(log_pmf.count(), log_pmf.log_k_factorial(), out, out, len);
+      ker.hypothesis_rates(at.x, at.y, scale, response.background_cpm, gx, gy, gs, gt,
+                           rates_out.data() + begin, len);
     };
     if (pool_ != nullptr) {
       // Chunks write disjoint slots; kernels are elementwise with padded
       // tails, so any chunking yields the same bits within a tier, and the
-      // reductions below run serially in index order.
-      pool_->parallel_for(n, score_chunk);
+      // scoring/reductions downstream run serially in index order.
+      pool_->parallel_for(n, rate_chunk);
     } else {
-      score_chunk(0, n);
+      rate_chunk(0, n);
     }
   } else {
-    const auto score_chunk = [&](std::size_t begin, std::size_t end) {
+    const auto rate_chunk = [&](std::size_t begin, std::size_t end) {
       for (std::size_t k = begin; k < end; ++k) {
         const auto i = subset_[k];
-        subset_weights_[k] =
-            log_pmf(hypothesis_rate(at, response, positions_[i], strengths_[i], cache, field));
+        rates_out[k] = hypothesis_rate(at, response, positions_[i], strengths_[i], cache, field);
       }
     };
     if (pool_ != nullptr) {
-      pool_->parallel_for(n, score_chunk);
+      pool_->parallel_for(n, rate_chunk);
     } else {
-      score_chunk(0, n);
+      rate_chunk(0, n);
     }
+  }
+  return true;
+}
+
+std::size_t FusionParticleFilter::apply_scores(std::span<const std::uint32_t> subset,
+                                               const simd::AVector<double>& rates, double k_sum,
+                                               double reps, double log_fact_sum, bool kernel_pmf) {
+  // --- Weight update (Sec. V-C), computed in log space. ---
+  // Raw likelihoods can underflow for wildly wrong hypotheses; we rescale by
+  // the subset max log-likelihood. The subset's *total* mass is preserved
+  // explicitly below, so the rescaling cannot tilt the subset-vs-rest
+  // balance (the paper normalizes globally after merging; preserving subset
+  // mass keeps the same invariant without underflow).
+  const double subset_mass_before =
+      std::accumulate(subset.begin(), subset.end(), 0.0,
+                      [&](double acc, std::uint32_t i) { return acc + weights_[i]; });
+  if (subset_mass_before <= 0.0) return 0;
+
+  const std::size_t n = subset.size();
+  subset_weights_.resize(n);
+  simd::assert_vector_aligned(subset_weights_.data());
+  const simd::Kernels& ker = simd::kernels();
+  // The batch-kernel flavor scores through the active tier; the exact-
+  // geometry flavor replays the seed's per-particle scalar PoissonLogPmf
+  // (the scalar kernel is bit-identical to it) regardless of tier.
+  const simd::Kernels& pker = kernel_pmf ? ker : simd::kernels_for(simd::Tier::kScalar);
+  const bool fused = reps != 1.0;
+  const auto pmf_chunk = [&](std::size_t begin, std::size_t end) {
+    const std::size_t len = end - begin;
+    if (len == 0) return;
+    if (fused) {
+      pker.poisson_log_pmf_fused(k_sum, reps, log_fact_sum, rates.data() + begin,
+                                 subset_weights_.data() + begin, len);
+    } else {
+      pker.poisson_log_pmf(k_sum, log_fact_sum, rates.data() + begin,
+                           subset_weights_.data() + begin, len);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, pmf_chunk);
+  } else {
+    pmf_chunk(0, n);
   }
 
   const double max_ll = ker.max_value(subset_weights_.data(), n);
@@ -284,7 +462,7 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
   ker.exp_shifted(subset_weights_.data(), max_ll, subset_weights_.data(), n);
   double new_mass = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    subset_weights_[k] = weights_[subset_[k]] * subset_weights_[k];
+    subset_weights_[k] = weights_[subset[k]] * subset_weights_[k];
     new_mass += subset_weights_[k];
   }
   if (new_mass <= 0.0 || !std::isfinite(new_mass)) return 0;  // degenerate update: skip
@@ -293,8 +471,8 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
   // Scale the posterior subset weights so the subset keeps its prior mass,
   // then write back. Global weights remain normalized.
   const double scale = subset_mass_before / new_mass;
-  for (std::size_t k = 0; k < subset_.size(); ++k) {
-    weights_[subset_[k]] = subset_weights_[k] * scale;
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    weights_[subset[k]] = subset_weights_[k] * scale;
   }
 
   // ESS gate: a near-uniform posterior subset gains nothing from resampling.
@@ -309,18 +487,19 @@ std::size_t FusionParticleFilter::process_reading_impl(const Point2& at,
     if (sum_sq > 0.0 &&
         new_mass * new_mass > cfg_.ess_resample_threshold * static_cast<double>(n) * sum_sq) {
       // Skip the resample: no RNG consumed; positions unchanged by this
-      // branch, so the grid stays valid unless predict already dirtied it.
+      // branch, so the grid stays valid unless predict already dirtied it —
+      // and the particle generation is unchanged, so cache entries survive.
       ++resamples_skipped_;
-      return subset_.size();
+      return subset.size();
     }
   }
 
   // --- Resample P'' locally (Sec. V-E). ---
-  resample_subset(subset_, subset_mass_before);
+  resample_subset(subset, subset_mass_before);
   ++resamples_performed_;
   grid_dirty_ = true;
 
-  return subset_.size();
+  return subset.size();
 }
 
 void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset,
@@ -370,6 +549,10 @@ void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset
     strengths_[slot] = drawn[k].strength;
     weights_[slot] = w;
   }
+  // Positions/strengths changed: every scoring-cache entry is now stale
+  // (random replacement can move a particle into ANY fusion disk, so
+  // per-entry overlap reasoning would be unsound — invalidate globally).
+  ++particle_generation_;
 }
 
 std::size_t FusionParticleFilter::resize_budget(std::size_t count) {
@@ -416,6 +599,9 @@ std::size_t FusionParticleFilter::resize_budget(std::size_t count) {
     weights_[k] = w;
   }
   grid_dirty_ = true;
+  // A resize rewrites the whole population — and shrinking can leave cached
+  // subset indices out of range — so the generation must move.
+  ++particle_generation_;
   return count;
 }
 

@@ -67,6 +67,20 @@ class FusionParticleFilter {
   /// where malformed readings are expected and must be counted, not fatal.
   ReadingFault try_process(const Measurement& m);
 
+  /// Fused multi-reading update: applies a group of measurements that all
+  /// report from ONE sensor as a single weight update — per-particle
+  /// log-likelihoods of the K readings add (they share the same hypothesis
+  /// rates within one particle generation), so the group costs one subset
+  /// traversal, one Poisson/exp pass, and at most one resample instead of K.
+  /// Every reading is validated (and tallied) exactly as process(); a group
+  /// mixing sensor ids throws std::invalid_argument. Requires a static
+  /// movement model. Groups of size 1 take the exact process() path bit for
+  /// bit. The fused posterior differs from serially applying the K readings
+  /// only by floating-point reordering and by resample placement (the serial
+  /// path may resample between readings) — see FilterConfig::
+  /// fused_batch_updates for the policy. Returns |P'| like process().
+  std::size_t process_fused(std::span<const Measurement> group);
+
   /// The same filter iteration for a reading taken at an arbitrary position
   /// (a MOBILE detector, cf. the controlled-search literature [18]): the
   /// fusion disk is centered on `at` and the likelihood uses `response`.
@@ -74,7 +88,14 @@ class FusionParticleFilter {
   /// validation and degenerate-update semantics as process().
   std::size_t process_reading(const Point2& at, const SensorResponse& response, double cpm);
 
-  /// Number of iterations processed so far (t).
+  /// Number of iterations processed so far (t). Counts every WELL-FORMED
+  /// reading fed through process()/try_process()/process_reading()/
+  /// process_fused() — including readings whose fusion disk was empty or
+  /// whose update degenerated and was skipped. This is intentional (pinned
+  /// by tests): iteration() is the stream clock that keeps
+  /// MultiSourceLocalizer::iterations(), the adaptive-budget cadence, and
+  /// the service-layer accounting aligned with the number of readings fed,
+  /// not with the subset geometry of each one.
   [[nodiscard]] std::uint64_t iteration() const { return iteration_; }
 
   // Particle accessors (struct-of-arrays views; valid until next process()).
@@ -112,8 +133,12 @@ class FusionParticleFilter {
   /// environment and cell size as cfg would build, prepared (serially, up
   /// front) for every origin the filter will query, and must outlive the
   /// filter. Origins the shared cache lacks fall back to exact geometry;
-  /// nullptr restores the owned cache.
-  void set_shared_transmission_cache(const TransmissionCache* cache) { shared_cache_ = cache; }
+  /// nullptr restores the owned cache. Swapping the transmission source
+  /// invalidates the scoring cache (memoized rates embed transmissions).
+  void set_shared_transmission_cache(const TransmissionCache* cache) {
+    shared_cache_ = cache;
+    for (auto& e : score_cache_) e.valid = false;
+  }
 
   /// Ingestion validator: per-fault accept/reject tallies for everything fed
   /// through process()/try_process()/process_reading().
@@ -139,7 +164,43 @@ class FusionParticleFilter {
   [[nodiscard]] std::uint64_t resamples_performed() const { return resamples_performed_; }
   [[nodiscard]] std::uint64_t resamples_skipped() const { return resamples_skipped_; }
 
+  // Scoring-cache / fused-update telemetry (DESIGN.md §5.10).
+  /// Monotone particle-state version: bumped whenever positions or strengths
+  /// change (resample+jitter, movement evolution, resize_budget). Scoring-
+  /// cache entries are valid only while their recorded generation matches.
+  [[nodiscard]] std::uint64_t particle_generation() const { return particle_generation_; }
+  /// Cache lookups attempted / hits (lookups happen only when the cache is
+  /// enabled and the movement model is static).
+  [[nodiscard]] std::uint64_t scoring_cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] std::uint64_t scoring_cache_hits() const { return cache_hits_; }
+  /// Fused groups applied (size >= 2 only) and the readings they covered.
+  [[nodiscard]] std::uint64_t fused_groups() const { return fused_groups_; }
+  [[nodiscard]] std::uint64_t fused_readings() const { return fused_readings_; }
+  /// True while the movement model is the identity StaticMovement — the
+  /// precondition for scoring-cache lookups and fused updates (hoisted from
+  /// the per-reading dynamic_cast the predict step used to pay).
+  [[nodiscard]] bool movement_is_static() const { return movement_is_static_; }
+
  private:
+  /// One scoring-cache entry: a sensor origin's fusion subset and per-
+  /// particle hypothesis rates, stamped with the particle generation and
+  /// environment revision they were computed under (DESIGN.md §5.10).
+  /// `rates` holds exactly subset.size() values; an entry with an empty
+  /// subset is still a valid (and cheap) hit — it memoizes "this disk is
+  /// empty at this generation".
+  struct CacheEntry {
+    Point2 origin{};
+    double efficiency = 0.0;
+    double background = 0.0;
+    std::uint64_t generation = 0;
+    std::uint64_t env_revision = 0;
+    std::uint64_t last_used = 0;  ///< lookup tick for LRU eviction
+    bool valid = false;
+    bool kernel_pmf = false;  ///< rates came from the batch-kernel path
+    std::vector<std::uint32_t> subset;
+    simd::AVector<double> rates;
+  };
+
   void initialize_particles();
   [[nodiscard]] double hypothesis_rate(const Point2& at, const SensorResponse& response,
                                        const Point2& pos, double strength,
@@ -150,6 +211,40 @@ class FusionParticleFilter {
   void resample_subset(std::span<const std::uint32_t> subset, double subset_mass);
   /// The filter iteration proper; input already validated.
   std::size_t process_reading_impl(const Point2& at, const SensorResponse& response, double cpm);
+
+  /// True when a cache lookup may be attempted for this reading: the cache
+  /// is configured and the movement model is static (per-reading evolution
+  /// would mutate positions mid-iteration, making memoized rates stale
+  /// within a single update).
+  [[nodiscard]] bool cache_enabled() const {
+    return scoring_cache_capacity_ > 0 && movement_is_static_;
+  }
+  /// Finds a fresh entry for (at, response) at the current generation /
+  /// env revision; bumps lookup counters. nullptr on miss.
+  CacheEntry* cache_find(const Point2& at, const SensorResponse& response);
+  /// Returns the entry to (over)write for (at, response): the matching slot
+  /// if one exists, else an unused/LRU victim. Marks it invalid; the caller
+  /// fills subset+rates and stamps it via cache_commit.
+  CacheEntry* cache_begin_store(const Point2& at, const SensorResponse& response);
+  void cache_commit(CacheEntry& e, const Point2& at, const SensorResponse& response);
+  /// The shared scoring core: cache lookup (when enabled), else selection +
+  /// rates, then the weight update. `k_sum`/`reps`/`log_fact_sum` describe
+  /// the reading group (reps == 1 for a single reading — bit-identical to
+  /// the seed's single-k pass). Returns |P'| or 0.
+  std::size_t score_reading(const Point2& at, const SensorResponse& response, double k_sum,
+                            double reps, double log_fact_sum);
+  /// Selects the fusion subset into subset_, runs predict, and computes the
+  /// per-particle hypothesis rates into `rates_out` (the cache-miss path).
+  /// `kernel_pmf_out` reports whether the batch-kernel scoring flavor
+  /// applies. Returns false when the disk is empty.
+  bool select_and_rate(const Point2& at, const SensorResponse& response,
+                       simd::AVector<double>& rates_out, bool& kernel_pmf_out);
+  /// Scores `rates` against the (fused) counts and applies the mass-
+  /// preserving weight update + ESS-gated resample. Returns |P'| or 0 on a
+  /// degenerate update.
+  std::size_t apply_scores(std::span<const std::uint32_t> subset,
+                           const simd::AVector<double>& rates, double k_sum, double reps,
+                           double log_fact_sum, bool kernel_pmf);
 
   const Environment* env_;
   std::vector<Sensor> sensors_;
@@ -166,12 +261,26 @@ class FusionParticleFilter {
   simd::AVector<double> weights_;
 
   std::unique_ptr<MovementModel> movement_;
+  bool movement_is_static_ = true;  ///< hoisted dynamic_cast (set_movement_model)
   GridIndex grid_;
   bool grid_dirty_ = true;
   std::uint64_t iteration_ = 0;
   std::uint64_t particles_scored_ = 0;
   std::uint64_t resamples_performed_ = 0;
   std::uint64_t resamples_skipped_ = 0;
+
+  // Generation-versioned scoring cache (DESIGN.md §5.10). Any mutation of
+  // positions/strengths bumps particle_generation_, invalidating every
+  // entry at once — per-entry overlap reasoning is unsound because random
+  // replacement can move a particle anywhere.
+  std::uint64_t particle_generation_ = 0;
+  std::size_t scoring_cache_capacity_ = 0;  ///< cfg or RADLOC_SCORING_CACHE
+  std::vector<CacheEntry> score_cache_;
+  std::uint64_t cache_tick_ = 0;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t fused_groups_ = 0;
+  std::uint64_t fused_readings_ = 0;
 
   // Scratch buffers reused across iterations: after warmup, a reading must
   // not allocate (tests/test_alloc_steady.cpp pins this).
@@ -182,6 +291,9 @@ class FusionParticleFilter {
   simd::AVector<double> scratch_y_;
   simd::AVector<double> scratch_s_;
   simd::AVector<double> scratch_t_;
+  // hypothesis-rate destination when the cache is off (the cache stores
+  // rates per entry instead)
+  simd::AVector<double> rates_scratch_;
   // resample scratch
   struct Drawn {
     Point2 pos;

@@ -56,6 +56,9 @@ struct SessionManager::Session {
   // Budget telemetry snapshotted at the end of each drain (guarded by mu).
   std::size_t current_budget = 0;
   double ess_fraction = 1.0;
+  // Scoring-cache / fused-update telemetry, same snapshot discipline.
+  double cache_hit_rate = 0.0;
+  double fused_batch_len = 0.0;
 
   /// Serializes drains (and estimates) of this session, so one session's
   /// readings never apply concurrently or out of queue order. Distinct from
@@ -166,14 +169,23 @@ std::size_t SessionManager::drain_session(Session& s) {
 
   const std::size_t drained = s.batch.size();
   // Still under drain_mu — safe to read the localizer here, not in stats().
-  const std::size_t budget = s.localizer.filter().size();
-  const double ess = s.localizer.filter().effective_sample_size();
+  const FusionParticleFilter& filter = s.localizer.filter();
+  const std::size_t budget = filter.size();
+  const double ess = filter.effective_sample_size();
+  const std::uint64_t lookups = filter.scoring_cache_lookups();
+  const std::uint64_t hits = filter.scoring_cache_hits();
+  const std::uint64_t fgroups = filter.fused_groups();
+  const std::uint64_t freadings = filter.fused_readings();
   {
     const std::lock_guard lock(s.mu);
     s.processed += drained;
     s.applied += result.processed;
     s.current_budget = budget;
     s.ess_fraction = budget > 0 ? ess / static_cast<double>(budget) : 0.0;
+    s.cache_hit_rate =
+        lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+    s.fused_batch_len =
+        fgroups > 0 ? static_cast<double>(freadings) / static_cast<double>(fgroups) : 0.0;
     for (const double us : s.batch_latency_us) {
       if (s.latency_us.size() < s.cfg.latency_window) {
         s.latency_us.push_back(us);
@@ -239,6 +251,8 @@ SessionStats SessionManager::stats(SessionId id) const {
     out.filter_iterations = s->applied;
     out.current_budget = s->current_budget;
     out.ess_fraction = s->ess_fraction;
+    out.cache_hit_rate = s->cache_hit_rate;
+    out.fused_batch_len = s->fused_batch_len;
     samples = s->latency_us;
   }
   out.latency_samples = samples.size();

@@ -64,6 +64,7 @@ std::array<Kernels, 3> build_tables() {
     Kernels out = *k;
     if (out.poisson_log_pmf == nullptr) out.poisson_log_pmf = s.poisson_log_pmf;
     if (out.poisson_log_pmf_multi == nullptr) out.poisson_log_pmf_multi = s.poisson_log_pmf_multi;
+    if (out.poisson_log_pmf_fused == nullptr) out.poisson_log_pmf_fused = s.poisson_log_pmf_fused;
     if (out.hypothesis_rates == nullptr) out.hypothesis_rates = s.hypothesis_rates;
     if (out.bilinear == nullptr) out.bilinear = s.bilinear;
     if (out.max_value == nullptr) out.max_value = s.max_value;

@@ -136,6 +136,7 @@ constexpr Kernels kAvx2Table{
     "avx2",
     &avx2_impl::k_poisson_log_pmf,
     &avx2_impl::k_poisson_log_pmf_multi,
+    &avx2_impl::k_poisson_log_pmf_fused,
     &avx2_impl::k_hypothesis_rates,
     &avx2_impl::k_bilinear,
     &avx2_impl::k_max_value,

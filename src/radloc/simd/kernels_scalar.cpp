@@ -41,6 +41,23 @@ void poisson_log_pmf_multi(const double* k, const double* log_k_factorial, const
   }
 }
 
+// Sum of `reps` single-k terms sharing one rate; reps == 1 replays
+// poisson_one bit for bit (1.0 * lambda is exact).
+void poisson_log_pmf_fused(double k_sum, double reps, double log_fact_sum, const double* lambda,
+                           double* out, std::size_t n) {
+  if (k_sum < 0.0) {
+    std::fill(out, out + n, kNegInf);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lambda[i] <= 0.0) {
+      out[i] = k_sum == 0.0 ? 0.0 : kNegInf;
+    } else {
+      out[i] = k_sum * std::log(lambda[i]) - reps * lambda[i] - log_fact_sum;
+    }
+  }
+}
+
 void hypothesis_rates(double ax, double ay, double scale, double background, const double* x,
                       const double* y, const double* strength, const double* transmission,
                       double* out, std::size_t n) {
@@ -111,6 +128,7 @@ void meanshift_profile(bool gaussian, double cx, double cy, double s, double h2,
 const Kernels* scalar_kernels() {
   static const Kernels kTable{
       Tier::kScalar,   "scalar",  &poisson_log_pmf, &poisson_log_pmf_multi,
+      &poisson_log_pmf_fused,
       &hypothesis_rates, &bilinear, &max_value,       &exp_shifted,
       &meanshift_profile,
   };

@@ -69,6 +69,7 @@ constexpr Kernels kSse2Table{
     "sse2",
     &sse2_impl::k_poisson_log_pmf,
     &sse2_impl::k_poisson_log_pmf_multi,
+    &sse2_impl::k_poisson_log_pmf_fused,
     &sse2_impl::k_hypothesis_rates,
     nullptr,  // bilinear: scalar patched in by dispatch (exact either way)
     &sse2_impl::k_max_value,

@@ -182,6 +182,47 @@ inline void k_poisson_log_pmf_multi(const double* k, const double* log_k_factori
   }
 }
 
+inline void k_poisson_log_pmf_fused(double k_sum, double reps, double log_fact_sum,
+                                    const double* lambda, double* out, std::size_t n) {
+  if (k_sum < 0.0) {
+    std::fill(out, out + n, kVecNegInf);
+    return;
+  }
+  const VD vk = vset1(k_sum);
+  const VD vr = vset1(reps);
+  const VD vc = vset1(log_fact_sum);
+  const VD tiny = vset1(kVecDblMin);
+  const VD big = vset1(kVecDblMax);
+  // `out` may alias `lambda`; bad lanes save their inputs before the vector
+  // store clobbers them (same pattern as the single-k kernel).
+  const auto run = [&](const double* lam, double* o) {
+    const VD l = vload(lam);
+    const VD ok = vand(vcmp_ge(l, tiny), vcmp_le(l, big));
+    const int bad = ~vmovemask(ok) & kFullMask;
+    double orig[kLanes];
+    if (bad != 0) vstore(orig, l);
+    vstore(o, vsub(vsub(vmul(vk, vlog_core(l)), vmul(vr, l)), vc));
+    if (bad != 0) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        if ((bad >> j) & 1) {
+          o[j] = orig[j] <= 0.0 ? (k_sum == 0.0 ? 0.0 : kVecNegInf)
+                                : k_sum * std::log(orig[j]) - reps * orig[j] - log_fact_sum;
+        }
+      }
+    }
+  };
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) run(lambda + i, out + i);
+  if (i < n) {
+    double tl[kLanes];
+    double to[kLanes];
+    const std::size_t r = n - i;
+    for (std::size_t j = 0; j < kLanes; ++j) tl[j] = j < r ? lambda[i + j] : 1.0;
+    run(tl, to);
+    for (std::size_t j = 0; j < r; ++j) out[i + j] = to[j];
+  }
+}
+
 inline void k_hypothesis_rates(double ax, double ay, double scale, double background,
                                const double* x, const double* y, const double* strength,
                                const double* transmission, double* out, std::size_t n) {

@@ -69,6 +69,17 @@ struct Kernels {
   void (*poisson_log_pmf_multi)(const double* k, const double* log_k_factorial,
                                 const double* lambda, double* out, std::size_t n);
 
+  /// Fused multi-reading variant (the filter's same-sensor batch path): the
+  /// summed log-PMF of `reps` readings that share one rate per element,
+  /// out[i] = k_sum*log(lambda[i]) - reps*lambda[i] - log_fact_sum
+  /// with k_sum = sum of the counts and log_fact_sum = sum of their log(k!)
+  /// terms. Edge semantics follow the per-reading sum: k_sum < 0 -> -inf;
+  /// lambda <= 0 -> (k_sum == 0 ? 0 : -inf); NaN/inf lambda propagate as the
+  /// scalar expression. With reps == 1 this reproduces poisson_log_pmf bit
+  /// for bit (1.0 * lambda is exact). `out` may fully alias `lambda`.
+  void (*poisson_log_pmf_fused)(double k_sum, double reps, double log_fact_sum,
+                                const double* lambda, double* out, std::size_t n);
+
   /// Eq. (4) single-source hypothesis rates from SoA particle arrays:
   /// out[i] = scale * (s[i] / (1 + (x[i]-ax)^2 + (y[i]-ay)^2)) [* t[i]] + b
   /// with the exact association of expected_cpm_single_free_space /

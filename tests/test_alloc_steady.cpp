@@ -174,6 +174,50 @@ TEST(SteadyStateAllocation, AdaptiveBudgetResizesAreAllocationFree) {
       << "adaptive resize+process cycle allocated at steady state";
 }
 
+TEST(SteadyStateAllocation, CachedAndFusedReadingsAreAllocationFree) {
+  // The scoring cache stores each sensor origin's fusion subset + rates in
+  // per-entry buffers: the warm-up pass grows every entry (the constructor
+  // reserves the entry table itself), and stale entries are overwritten in
+  // place through the same-key slot, so once every origin has been seen both
+  // the hit path and the regenerating-miss path must not allocate. Fused
+  // groups ride the same scratch as single readings.
+  Environment env(make_area(60, 60));
+  auto sensors = place_grid(env.bounds(), 4, 4);
+  set_background(sensors, 5.0);
+
+  FilterConfig cfg;
+  cfg.num_particles = 1500;
+  cfg.fusion_range = 200.0;  // covers the whole area: |P'| is deterministic
+  cfg.scoring_cache_entries = 16;  // >= sensor count: no LRU churn
+  cfg.ess_resample_threshold = 0.5;  // exercises both the hit and miss paths
+  FusionParticleFilter filter(env, sensors, cfg, Rng(11));
+
+  MeasurementSimulator sim(env, sensors, {{{20, 40}, 50.0}, {{45, 15}, 50.0}});
+  Rng noise(12);
+  // Runs of 3 same-sensor readings: fused groups + repeat-hit lookups.
+  std::vector<Measurement> stream;
+  for (int step = 0; step < 3; ++step) {
+    for (const auto& m : sim.sample_time_step(noise)) {
+      for (int r = 0; r < 3; ++r) stream.push_back(m);
+    }
+  }
+  const auto pass = [&] {
+    for (std::size_t i = 0; i < stream.size(); i += 3) {
+      (void)filter.process_fused(std::span{stream}.subspan(i, 3));
+      (void)filter.process(stream[i]);  // single-reading path against the cache
+    }
+  };
+  pass();  // warm-up: every origin cached, every scratch at capacity
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  pass();
+  g_counting.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0) << "cached/fused reading path allocated at steady state";
+  EXPECT_GT(filter.scoring_cache_hits(), 0u) << "cache never hit; the assertion is vacuous";
+  EXPECT_GT(filter.fused_groups(), 0u);
+}
+
 TEST(SteadyStateAllocation, CounterSeesOrdinaryAllocations) {
   // Sanity check of the harness itself: a vector growing under counting
   // must register, or the zero assertions above would be vacuous.

@@ -1,0 +1,448 @@
+// Generation-versioned scoring cache + fused same-sensor updates
+// (DESIGN.md §5.10).
+//
+// Contracts under test:
+//   * cache ON with the otherwise-default config is bit-identical to the
+//     seed golden fingerprint (cache hits replay the exact rates the miss
+//     path would recompute — no RNG consumed, no FP reordering);
+//   * cache on/off produce bitwise-identical particle state on a stream
+//     where hits actually occur (ESS gate + repeat-sensor runs);
+//   * a repeat reading hits iff the particle generation survived: the ESS
+//     gate skipping the resample keeps the generation, a performed resample,
+//     a resize_budget, or an environment revision bump each force a miss;
+//   * an empty fusion disk is itself a cacheable (cheap) hit, and still
+//     advances iteration() — the stream-clock semantics pinned here;
+//   * non-static movement disables lookups entirely and bumps the
+//     generation on every evolved reading;
+//   * LRU eviction at tiny capacity evicts the least-recently-used origin;
+//   * RADLOC_SCORING_CACHE turns the default-off cache on (explicit config
+//     still wins; garbage values stay off);
+//   * process_fused: size-1 groups are bit-identical to process(), K >= 2
+//     groups match the serial posterior within tolerance at every SIMD
+//     tier, mixed-sensor/non-static/malformed groups throw, and the
+//     localizer batch paths group consecutive same-sensor runs (breaking
+//     runs on malformed readings without double-tallying);
+//   * SessionStats surfaces cache_hit_rate / fused_batch_len after drain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "radloc/core/localizer.hpp"
+#include "radloc/eval/scenarios.hpp"
+#include "radloc/filter/particle_filter.hpp"
+#include "radloc/rng/distributions.hpp"
+#include "radloc/sensornet/placement.hpp"
+#include "radloc/sensornet/simulator.hpp"
+#include "radloc/service/session_manager.hpp"
+#include "radloc/simd/simd.hpp"
+
+namespace radloc {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t state_fingerprint(const FusionParticleFilter& f) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto pos = f.positions();
+  const auto str = f.strengths();
+  const auto w = f.weights();
+  h = fnv1a(h, pos.data(), pos.size() * sizeof(Point2));
+  h = fnv1a(h, str.data(), str.size_bytes());
+  h = fnv1a(h, w.data(), w.size_bytes());
+  return h;
+}
+
+/// A small deployment whose readings never degenerate: 4x4 grid, one source.
+struct SmallWorld {
+  Environment env{make_area(100, 100)};
+  std::vector<Sensor> sensors;
+  SmallWorld() {
+    sensors = place_grid(env.bounds(), 4, 4);
+    set_background(sensors, 5.0);
+  }
+};
+
+FilterConfig small_cfg(std::size_t cache_entries, double ess_threshold) {
+  FilterConfig cfg;
+  cfg.num_particles = 400;
+  cfg.fusion_range = 60.0;
+  cfg.scoring_cache_entries = cache_entries;
+  cfg.ess_resample_threshold = ess_threshold;
+  return cfg;
+}
+
+/// ESS threshold low enough that the gate skips every non-degenerate
+/// resample — the regime where repeat readings keep their generation.
+constexpr double kAlwaysSkip = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Seed bit-identity
+
+TEST(ScoringCacheIdentity, CacheOnMatchesSeedGolden) {
+  // Same scenario/stream/seeds/tier as test_budget.cpp's seed pin. Turning
+  // the cache on must reproduce the identical fingerprint: a hit replays the
+  // exact subset and rates the miss path would recompute, consuming no RNG.
+  simd::force_tier(simd::Tier::kScalar);
+  const Scenario sc = make_scenario_a(10.0);
+  FilterConfig cfg;
+  cfg.num_particles = 600;
+  cfg.fusion_range = sc.recommended_fusion_range;
+  cfg.scoring_cache_entries = 64;
+  FusionParticleFilter filter(sc.env, sc.sensors, cfg, Rng(42));
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng sim_rng(7);
+  for (int step = 0; step < 3; ++step) {
+    for (const Measurement& m : sim.sample_time_step(sim_rng)) (void)filter.process(m);
+  }
+  const std::uint64_t h = state_fingerprint(filter);
+  simd::reset_tier();
+  EXPECT_EQ(h, 0xbf58403a314a0840ULL) << "cache-on path drifted from the seed";
+  EXPECT_GT(filter.scoring_cache_lookups(), 0u) << "cache was never consulted";
+}
+
+TEST(ScoringCacheIdentity, CacheOnOffBitIdenticalWhenHitsOccur) {
+  // Repeat-sensor stream + ESS gate: the cached run must actually hit, and
+  // the particle state must still be bitwise equal to the uncached run.
+  const Scenario sc = make_scenario_a(10.0);
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(7);
+  std::vector<Measurement> stream;
+  for (int step = 0; step < 3; ++step) {
+    for (const Measurement& m : sim.sample_time_step(noise)) {
+      for (int r = 0; r < 4; ++r) stream.push_back(m);
+    }
+  }
+  auto run = [&](std::size_t cache_entries) {
+    FilterConfig cfg;
+    cfg.num_particles = 600;
+    cfg.fusion_range = sc.recommended_fusion_range;
+    cfg.ess_resample_threshold = 0.5;
+    cfg.scoring_cache_entries = cache_entries;
+    FusionParticleFilter filter(sc.env, sc.sensors, cfg, Rng(42));
+    for (const Measurement& m : stream) (void)filter.process(m);
+    return std::pair{state_fingerprint(filter), filter.scoring_cache_hits()};
+  };
+  const auto [h_off, hits_off] = run(0);
+  const auto [h_on, hits_on] = run(64);
+  EXPECT_EQ(hits_off, 0u);
+  EXPECT_GT(hits_on, 0u) << "stream produced no hits; the comparison is vacuous";
+  EXPECT_EQ(h_on, h_off) << "cache hits must be bit-identical to recomputing";
+}
+
+// ---------------------------------------------------------------------------
+// Hit/miss semantics: generation + environment revision
+
+TEST(ScoringCacheHits, RepeatSensorHitsWhileGenerationSurvives) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  const Measurement m{5, 30.0};
+
+  EXPECT_GT(filter.process(m), 0u);  // miss: first sight of this origin
+  const std::uint64_t gen = filter.particle_generation();
+  EXPECT_GT(filter.process(m), 0u);  // gate skipped the resample -> hit
+  EXPECT_GT(filter.process(m), 0u);
+  EXPECT_EQ(filter.particle_generation(), gen) << "skipped resamples must keep the generation";
+  EXPECT_EQ(filter.scoring_cache_lookups(), 3u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 2u);
+}
+
+TEST(ScoringCacheHits, PerformedResampleBumpsGenerationAndMisses) {
+  const SmallWorld w;
+  // Default ESS threshold 1.0: every non-degenerate update resamples.
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, 1.0), Rng(1));
+  const Measurement m{5, 30.0};
+  EXPECT_GT(filter.process(m), 0u);
+  const std::uint64_t gen = filter.particle_generation();
+  EXPECT_GT(filter.process(m), 0u);
+  EXPECT_GT(filter.particle_generation(), gen) << "resample must bump the generation";
+  EXPECT_EQ(filter.scoring_cache_lookups(), 2u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 0u) << "stale generation must never hit";
+}
+
+TEST(ScoringCacheHits, ResizeBudgetInvalidates) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  const Measurement m{5, 30.0};
+  (void)filter.process(m);
+  (void)filter.process(m);
+  ASSERT_EQ(filter.scoring_cache_hits(), 1u);
+  const std::uint64_t gen = filter.particle_generation();
+  EXPECT_EQ(filter.resize_budget(300), 300u);
+  EXPECT_GT(filter.particle_generation(), gen);
+  (void)filter.process(m);  // subset indices refer to the old population: miss
+  EXPECT_EQ(filter.scoring_cache_lookups(), 3u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 1u);
+}
+
+TEST(ScoringCacheHits, EnvironmentRevisionInvalidates) {
+  SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  const Measurement m{5, 30.0};
+  (void)filter.process(m);
+  (void)filter.process(m);
+  ASSERT_EQ(filter.scoring_cache_hits(), 1u);
+  w.env.add_obstacle(Obstacle(make_rect(40, 0, 50, 100), 0.0693));
+  (void)filter.process(m);  // revision changed: conservative miss
+  EXPECT_EQ(filter.scoring_cache_lookups(), 3u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 1u);
+}
+
+TEST(ScoringCacheHits, EmptyDiskIsACheapHitAndStillAdvancesTheClock) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  // A mobile reading far outside the bounds: the fusion disk is empty, the
+  // update is a no-op — but iteration() must still count it (the stream
+  // clock tracks readings fed, not subset geometry; pinned intentionally so
+  // the adaptive-budget cadence and service accounting stay aligned).
+  const SensorResponse resp{kDefaultEfficiency, 5.0};
+  EXPECT_EQ(filter.iteration(), 0u);
+  EXPECT_EQ(filter.process_reading({1e6, 1e6}, resp, 5.0), 0u);
+  EXPECT_EQ(filter.iteration(), 1u);
+  EXPECT_EQ(filter.process_reading({1e6, 1e6}, resp, 5.0), 0u);  // memoized empty disk
+  EXPECT_EQ(filter.iteration(), 2u);
+  EXPECT_EQ(filter.scoring_cache_lookups(), 2u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 1u);
+}
+
+TEST(ScoringCacheHits, NonStaticMovementDisablesLookups) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  ASSERT_TRUE(filter.movement_is_static());
+  filter.set_movement_model(std::make_unique<RandomWalkMovement>(0.5));
+  EXPECT_FALSE(filter.movement_is_static());
+
+  const Measurement m{5, 30.0};
+  const std::uint64_t gen = filter.particle_generation();
+  ASSERT_GT(filter.process(m), 0u);
+  EXPECT_GT(filter.particle_generation(), gen) << "evolution must bump the generation";
+  (void)filter.process(m);
+  EXPECT_EQ(filter.scoring_cache_lookups(), 0u)
+      << "per-reading evolution makes memoized rates stale within one update";
+
+  // Restoring a static model re-arms the cache.
+  filter.set_movement_model(std::make_unique<StaticMovement>());
+  EXPECT_TRUE(filter.movement_is_static());
+  (void)filter.process(m);
+  EXPECT_EQ(filter.scoring_cache_lookups(), 1u);
+}
+
+TEST(ScoringCacheLru, TinyCapacityEvictsLeastRecentlyUsed) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(2, kAlwaysSkip), Rng(1));
+  const Measurement a{0, 30.0}, b{5, 30.0}, c{10, 30.0};
+  (void)filter.process(a);  // miss, cache {a}
+  (void)filter.process(a);  // hit
+  (void)filter.process(b);  // miss, cache {a,b}
+  (void)filter.process(b);  // hit
+  EXPECT_EQ(filter.scoring_cache_hits(), 2u);
+  (void)filter.process(c);  // miss, capacity 2: evicts a (LRU)
+  (void)filter.process(a);  // miss — a was evicted
+  EXPECT_EQ(filter.scoring_cache_lookups(), 6u);
+  EXPECT_EQ(filter.scoring_cache_hits(), 2u);
+  (void)filter.process(c);  // c must have survived the reinsert of a
+  EXPECT_EQ(filter.scoring_cache_hits(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// RADLOC_SCORING_CACHE environment override
+
+TEST(ScoringCacheEnv, EnvVarEnablesTheDefaultOffCache) {
+  const SmallWorld w;
+  const Measurement m{5, 30.0};
+  auto lookups_with_default_cfg = [&] {
+    FusionParticleFilter filter(w.env, w.sensors, small_cfg(0, kAlwaysSkip), Rng(1));
+    (void)filter.process(m);
+    (void)filter.process(m);
+    return filter.scoring_cache_lookups();
+  };
+  ASSERT_EQ(setenv("RADLOC_SCORING_CACHE", "16", 1), 0);
+  EXPECT_GT(lookups_with_default_cfg(), 0u) << "env knob must arm the cache";
+  ASSERT_EQ(setenv("RADLOC_SCORING_CACHE", "bananas", 1), 0);
+  EXPECT_EQ(lookups_with_default_cfg(), 0u) << "garbage env value must stay off (with a warning)";
+  ASSERT_EQ(unsetenv("RADLOC_SCORING_CACHE"), 0);
+  EXPECT_EQ(lookups_with_default_cfg(), 0u) << "default stays off without the knob";
+}
+
+TEST(ScoringCacheEnv, ExplicitConfigWinsOverEnv) {
+  const SmallWorld w;
+  const Measurement m{5, 30.0};
+  ASSERT_EQ(setenv("RADLOC_SCORING_CACHE", "0", 1), 0);
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(8, kAlwaysSkip), Rng(1));
+  (void)filter.process(m);
+  (void)filter.process(m);
+  ASSERT_EQ(unsetenv("RADLOC_SCORING_CACHE"), 0);
+  EXPECT_EQ(filter.scoring_cache_hits(), 1u) << "cfg.scoring_cache_entries > 0 must win";
+}
+
+// ---------------------------------------------------------------------------
+// Fused multi-reading updates
+
+TEST(FusedUpdates, SizeOneGroupBitIdenticalToProcess) {
+  const SmallWorld w;
+  const Measurement m{5, 30.0};
+  FusionParticleFilter a(w.env, w.sensors, small_cfg(0, 1.0), Rng(3));
+  FusionParticleFilter b(w.env, w.sensors, small_cfg(0, 1.0), Rng(3));
+  const std::size_t na = a.process(m);
+  const std::size_t nb = b.process_fused(std::span{&m, 1});
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(b.fused_groups(), 0u) << "size-1 groups take the exact single-reading path";
+  EXPECT_EQ(b.iteration(), a.iteration());
+  EXPECT_EQ(state_fingerprint(b), state_fingerprint(a));
+}
+
+TEST(FusedUpdates, GroupMatchesSerialWithinToleranceAtEveryTier) {
+  // With the gate skipping every resample the serial path never mutates
+  // positions mid-group, so fused-vs-serial differ only by FP reordering of
+  // the summed log-likelihoods: positions bitwise equal, weights within a
+  // tight relative tolerance — at every SIMD tier the host supports.
+  const SmallWorld w;
+  const std::vector<Measurement> stream{{5, 28.0}, {5, 31.0}, {5, 30.0}, {5, 33.0},
+                                        {9, 12.0}, {9, 14.0}, {9, 11.0}, {9, 13.0}};
+  for (const simd::Tier tier : simd::sweep_tiers()) {
+    simd::force_tier(tier);
+    FusionParticleFilter serial(w.env, w.sensors, small_cfg(0, kAlwaysSkip), Rng(3));
+    FusionParticleFilter fused(w.env, w.sensors, small_cfg(0, kAlwaysSkip), Rng(3));
+    for (const Measurement& m : stream) (void)serial.process(m);
+    (void)fused.process_fused(std::span{stream}.subspan(0, 4));
+    (void)fused.process_fused(std::span{stream}.subspan(4, 4));
+    simd::reset_tier();
+
+    EXPECT_EQ(fused.iteration(), serial.iteration()) << "fused must count every reading";
+    EXPECT_EQ(fused.fused_groups(), 2u);
+    EXPECT_EQ(fused.fused_readings(), 8u);
+    ASSERT_EQ(fused.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(fused.positions()[i], serial.positions()[i])
+          << "tier " << static_cast<int>(tier) << " i=" << i;
+      const double ws = serial.weights()[i];
+      const double wf = fused.weights()[i];
+      ASSERT_LE(std::abs(wf - ws), 1e-9 * std::abs(ws) + 1e-15)
+          << "tier " << static_cast<int>(tier) << " i=" << i;
+    }
+  }
+}
+
+TEST(FusedUpdates, RejectsMixedSensorsNonStaticMovementAndMalformedReadings) {
+  const SmallWorld w;
+  FusionParticleFilter filter(w.env, w.sensors, small_cfg(0, 1.0), Rng(3));
+
+  EXPECT_EQ(filter.process_fused({}), 0u);
+  EXPECT_EQ(filter.iteration(), 0u) << "an empty group must not advance the clock";
+
+  const std::vector<Measurement> mixed{{5, 30.0}, {6, 30.0}};
+  EXPECT_THROW((void)filter.process_fused(mixed), std::invalid_argument);
+  const std::vector<Measurement> malformed{{5, 30.0}, {5, -1.0}};
+  EXPECT_THROW((void)filter.process_fused(malformed), std::invalid_argument);
+  EXPECT_EQ(filter.iteration(), 0u) << "rejected groups must not advance the clock";
+
+  filter.set_movement_model(std::make_unique<RandomWalkMovement>(0.5));
+  const std::vector<Measurement> group{{5, 30.0}, {5, 31.0}};
+  EXPECT_THROW((void)filter.process_fused(group), std::invalid_argument)
+      << "fused updates require a static movement model";
+}
+
+TEST(FusedUpdates, LocalizerBatchGroupsConsecutiveSameSensorRuns) {
+  const Scenario sc = make_scenario_a(10.0);
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 600;
+  cfg.filter.fusion_range = sc.recommended_fusion_range;
+  cfg.filter.ess_resample_threshold = 0.5;
+  cfg.filter.fused_batch_updates = true;
+  MultiSourceLocalizer loc(sc.env, sc.sensors, cfg, 42);
+
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(7);
+  std::vector<Measurement> batch;
+  for (const Measurement& m : sim.sample_time_step(noise)) {
+    for (int r = 0; r < 4; ++r) batch.push_back(m);
+  }
+  loc.process_all(batch);
+  const FusionParticleFilter& f = loc.filter();
+  EXPECT_EQ(f.iteration(), batch.size());
+  EXPECT_GT(f.fused_groups(), 0u);
+  EXPECT_EQ(f.fused_readings(), 4 * f.fused_groups()) << "every run in this batch has length 4";
+}
+
+TEST(FusedUpdates, TryProcessAllBreaksRunsOnMalformedWithoutDoubleTally) {
+  const SmallWorld w;
+  LocalizerConfig cfg;
+  cfg.filter.num_particles = 400;
+  cfg.filter.fusion_range = 60.0;
+  cfg.filter.ess_resample_threshold = 0.5;
+  cfg.filter.fused_batch_updates = true;
+  MultiSourceLocalizer loc(w.env, w.sensors, cfg, 42);
+
+  const double nan = std::nan("");
+  const std::vector<Measurement> batch{{5, 30.0}, {5, nan}, {5, 31.0}, {5, 29.0}, {5, 30.0}};
+  std::vector<std::size_t> order;
+  std::vector<ReadingFault> faults;
+  const BatchIngestResult res = loc.try_process_all(batch, [&](std::size_t i, ReadingFault f) {
+    order.push_back(i);
+    faults.push_back(f);
+  });
+  EXPECT_EQ(res.processed, 4u);
+  EXPECT_EQ(res.rejected, 1u);
+  EXPECT_EQ(res.first_fault, ReadingFault::kNonFiniteCpm);
+  ASSERT_EQ(order.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(order[i], i) << "callbacks must fire in batch order";
+    EXPECT_EQ(faults[i], i == 1 ? ReadingFault::kNonFiniteCpm : ReadingFault::kNone);
+  }
+  const FusionParticleFilter& f = loc.filter();
+  EXPECT_EQ(f.iteration(), 4u);
+  EXPECT_EQ(f.fused_groups(), 1u) << "the NaN breaks the run: [m0], reject, [m2 m3 m4]";
+  EXPECT_EQ(f.fused_readings(), 3u);
+  // Each well-formed reading tallies exactly once (probe does not tally).
+  EXPECT_EQ(f.validator().accepted(), 4u);
+  EXPECT_EQ(f.validator().rejected(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-layer telemetry
+
+TEST(ScoringCacheService, SessionStatsSurfaceHitRateAndFusedLength) {
+  const Scenario sc = make_scenario_a(10.0);
+  SessionConfig cfg;
+  cfg.localizer.filter.num_particles = 600;
+  cfg.localizer.filter.fusion_range = sc.recommended_fusion_range;
+  // Always-skip gate: the generation survives whole sweeps, so the SAME
+  // sensor origins recur across steps and must hit from the second step on.
+  cfg.localizer.filter.ess_resample_threshold = kAlwaysSkip;
+  cfg.localizer.filter.scoring_cache_entries = 64;
+  cfg.localizer.filter.fused_batch_updates = true;
+  ThreadPool pool(2, 2);
+  SessionManager mgr(pool);
+  const auto id = mgr.open(sc.env, sc.sensors, cfg, 7);
+  EXPECT_EQ(mgr.stats(id).cache_hit_rate, 0.0);
+  EXPECT_EQ(mgr.stats(id).fused_batch_len, 0.0);
+
+  MeasurementSimulator sim(sc.env, sc.sensors, sc.sources);
+  Rng noise(8);
+  for (int t = 0; t < 4; ++t) {
+    for (const Measurement& m : sim.sample_time_step(noise)) {
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(mgr.ingest(id, SessionReading{static_cast<double>(t), m}),
+                  IngestStatus::kQueued);
+      }
+    }
+    (void)mgr.drain_all();
+  }
+  const SessionStats st = mgr.stats(id);
+  EXPECT_GT(st.cache_hit_rate, 0.0);
+  EXPECT_LE(st.cache_hit_rate, 1.0);
+  EXPECT_GE(st.fused_batch_len, 2.0) << "repeat-4 runs must fuse";
+}
+
+}  // namespace
+}  // namespace radloc

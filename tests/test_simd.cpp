@@ -271,6 +271,99 @@ TEST(SimdPoisson, MultiKMatchesPerElementSeedAndAllTiers) {
   }
 }
 
+TEST(SimdPoisson, FusedRepsOneBitIdenticalToSingleK) {
+  // reps == 1 must replay poisson_log_pmf bit for bit in EVERY tier
+  // (1.0 * lambda is exact) — the contract that lets a size-1 fused group
+  // take the single-reading path with no tolerance carve-out.
+  for (const std::size_t n : kSizes) {
+    auto lambdas = random_lambdas(n, 505 + n);
+    if (n > 4) {
+      lambdas[1] = 0.0;
+      lambdas[3] = -2.0;
+      lambdas[4] = kNan;
+    }
+    for (const double k : {0.0, 3.0, 120.0, -2.0}) {
+      const PoissonLogPmf pmf(k);
+      for (const auto t : host_tiers()) {
+        const simd::Kernels& ker = simd::kernels_for(t);
+        std::vector<double> want(n, kNan);
+        ker.poisson_log_pmf(pmf.count(), pmf.log_k_factorial(), lambdas.data(), want.data(), n);
+        std::vector<double> inplace = lambdas;  // documented aliasing: out == lambda
+        ker.poisson_log_pmf_fused(pmf.count(), 1.0, pmf.log_k_factorial(), inplace.data(),
+                                  inplace.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(same_bits(inplace[i], want[i]))
+              << simd::tier_name(t) << " n=" << n << " k=" << k << " lambda=" << lambdas[i]
+              << " got " << hex_bits(inplace[i]) << " want " << hex_bits(want[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdPoisson, FusedEdgeSemanticsExactInEveryTier) {
+  // k_sum < 0 fills -inf; lambda <= 0 lanes follow the per-reading sum
+  // (k_sum == 0 ? 0 : -inf); NaN/inf lambdas are patched with the scalar
+  // expression — all bit-identical to the scalar tier.
+  const std::vector<double> lambdas{0.0, -0.0, -3.5, 5e-324, 1.0, kInf, -kInf, kNan, 42.0};
+  const std::size_t n = lambdas.size();
+  const simd::Kernels& scalar = simd::kernels_for(simd::Tier::kScalar);
+  for (const auto [k_sum, reps, lfs] :
+       {std::tuple{0.0, 3.0, 0.0}, {91.0, 3.0, 12.5}, {-1.0, 2.0, 0.0}}) {
+    std::vector<double> want(n);
+    scalar.poisson_log_pmf_fused(k_sum, reps, lfs, lambdas.data(), want.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (k_sum < 0.0) {
+        ASSERT_TRUE(same_bits(want[i], -kInf)) << "i=" << i;
+      } else if (lambdas[i] <= 0.0) {
+        ASSERT_TRUE(same_bits(want[i], k_sum == 0.0 ? 0.0 : -kInf)) << "i=" << i;
+      }
+    }
+    for (const auto t : host_tiers()) {
+      std::vector<double> inplace = lambdas;
+      simd::kernels_for(t).poisson_log_pmf_fused(k_sum, reps, lfs, inplace.data(),
+                                                 inplace.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(same_bits(inplace[i], want[i]))
+            << simd::tier_name(t) << " k_sum=" << k_sum << " lambda=" << lambdas[i] << " got "
+            << hex_bits(inplace[i]) << " want " << hex_bits(want[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdPoisson, FusedMatchesSerialSumWithinToleranceInEveryTier) {
+  // The fused kernel's k_sum*log(l) - reps*l - log_fact_sum must agree with
+  // serially summing the K per-reading log-PMFs, up to FP reordering.
+  const std::vector<double> counts{28.0, 31.0, 0.0, 33.0, 30.0};
+  double k_sum = 0.0, log_fact_sum = 0.0;
+  for (const double k : counts) {
+    const PoissonLogPmf pmf(k);
+    k_sum += pmf.count();
+    log_fact_sum += pmf.log_k_factorial();
+  }
+  for (const std::size_t n : kSizes) {
+    const auto lambdas = random_lambdas(n, 606 + n);
+    std::vector<double> want(n, 0.0);
+    for (const double k : counts) {
+      const PoissonLogPmf pmf(k);
+      for (std::size_t i = 0; i < n; ++i) want[i] += pmf(lambdas[i]);
+    }
+    for (const auto t : host_tiers()) {
+      std::vector<double> got(n, kNan);
+      simd::kernels_for(t).poisson_log_pmf_fused(k_sum, static_cast<double>(counts.size()),
+                                                 log_fact_sum, lambdas.data(), got.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double tol = 1e-12 * (1.0 + std::abs(k_sum * std::log(lambdas[i])) +
+                                    static_cast<double>(counts.size()) * lambdas[i] +
+                                    log_fact_sum);
+        ASSERT_NEAR(got[i], want[i], tol)
+            << simd::tier_name(t) << " n=" << n << " lambda=" << lambdas[i];
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hypothesis rates (exact in every tier)
 

@@ -25,7 +25,13 @@ import json
 import os
 import sys
 
-DEFAULT_BENCHES = ["weight_update", "experiment_throughput", "session_multiplex", "adaptive_budget"]
+DEFAULT_BENCHES = [
+    "weight_update",
+    "experiment_throughput",
+    "session_multiplex",
+    "adaptive_budget",
+    "scoring_cache",
+]
 
 # Metric-name fragments that identify the "bigger is better" direction.
 HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput", "frac")

@@ -49,6 +49,8 @@ struct Options {
   bool drop_oldest = false;
   bool order_by_timestamp = false;
   bool adaptive = false;
+  std::size_t scoring_cache = 0;
+  bool fused = false;
   std::uint64_t seed = 1;
 };
 
@@ -67,6 +69,12 @@ struct Options {
       "  --adaptive              adaptive particle budget per session (KLD\n"
       "                          controller, min = particles/4, max = particles;\n"
       "                          watch the budget/ess stats columns)\n"
+      "  --scoring-cache <n>     per-session scoring cache of n entries\n"
+      "                          (generation-versioned hypothesis rates;\n"
+      "                          bit-identical, pure speed — watch hit%)\n"
+      "  --fused                 fuse consecutive same-sensor readings in each\n"
+      "                          drain into one weight update (tolerance-\n"
+      "                          pinned; watch the fuse stats column)\n"
       "  --queue-capacity <n>    per-session bounded ingest queue (default 1024)\n"
       "  --drop-oldest           backpressure evicts oldest instead of\n"
       "                          rejecting the newest reading\n"
@@ -106,6 +114,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--particles") opt.particles = std::stoul(next(i));
     else if (a == "--queue-capacity") opt.queue_capacity = std::stoul(next(i));
     else if (a == "--adaptive") opt.adaptive = true;
+    else if (a == "--scoring-cache") opt.scoring_cache = std::stoul(next(i));
+    else if (a == "--fused") opt.fused = true;
     else if (a == "--drop-oldest") opt.drop_oldest = true;
     else if (a == "--order-by-timestamp") opt.order_by_timestamp = true;
     else if (a == "--dump-every") opt.dump_every = std::stoul(next(i));
@@ -151,14 +161,15 @@ void dump_estimates(SessionManager& mgr, const std::vector<SessionManager::Sessi
 
 void dump_stats(SessionManager& mgr, const std::vector<SessionManager::SessionId>& ids) {
   std::cout << "session  queued  ingested  processed  applied  malformed  full  dropped"
-               "  p50_us  p99_us  budget  ess\n";
+               "  p50_us  p99_us  budget  ess  hit%  fuse\n";
   for (const auto id : ids) {
     const SessionStats st = mgr.stats(id);
     std::cout << id << "  " << st.queue_depth << "  " << st.ingested << "  " << st.processed
               << "  " << st.applied << "  " << st.rejected_malformed << "  "
               << st.rejected_full << "  " << st.dropped_oldest << "  " << st.p50_latency_us
               << "  " << st.p99_latency_us << "  " << st.current_budget << "  "
-              << st.ess_fraction << "\n";
+              << st.ess_fraction << "  " << 100.0 * st.cache_hit_rate << "  "
+              << st.fused_batch_len << "\n";
   }
 }
 
@@ -277,6 +288,8 @@ int main(int argc, char** argv) {
     f.min_particles = std::max<std::size_t>(f.num_particles / 4, 50);
     f.ess_resample_threshold = 0.5;
   }
+  cfg.localizer.filter.scoring_cache_entries = opt.scoring_cache;
+  cfg.localizer.filter.fused_batch_updates = opt.fused;
   cfg.queue_capacity = opt.queue_capacity;
   cfg.backpressure =
       opt.drop_oldest ? BackpressurePolicy::kDropOldest : BackpressurePolicy::kRejectNewest;
