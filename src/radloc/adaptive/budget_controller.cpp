@@ -141,6 +141,7 @@ std::size_t BudgetController::recommend(std::span<const Point2> positions,
   if (ess_fraction < cfg_.ess_floor) {
     // Degeneracy alarm: multiplicative growth toward the cap.
     target = std::max(target, clamp_budget(current + current / 2));
+    ++diag_.ess_alarm_events;
   }
 
   // Shrink policy is two-speed. A shrink WITHIN the band descends freely

@@ -78,6 +78,10 @@ struct BudgetDiagnostics {
   std::uint64_t controller_runs = 0;
   std::uint64_t grow_events = 0;    ///< runs whose applied budget grew
   std::uint64_t shrink_events = 0;  ///< runs whose applied budget shrank
+  /// Runs where the ESS fraction sat under the configured floor — the
+  /// degeneracy alarm fired (multiplicative growth proposed), whether or
+  /// not the clamp let the budget actually move.
+  std::uint64_t ess_alarm_events = 0;
 };
 
 class BudgetController {

@@ -54,10 +54,22 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_pool_work() const { return tls_active_pool == this; }
 
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  {
+    const std::lock_guard lock(mu_);
+    out.queue_depth = queue_.size();
+  }
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.steals = steals_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void ThreadPool::execute(Job& job) {
   // A job that throws must not unwind a worker thread (std::terminate) and
   // must still retire on its Sync — a lost decrement would hang the wave's
   // waiter forever. Capture the exception; the wave's wait point rethrows.
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   std::exception_ptr err;
   {
     const ActivePoolScope scope(this);
@@ -109,6 +121,7 @@ std::exception_ptr ThreadPool::wait_for_collect(Sync& sync) {
       // idling. This is what makes waiting inside pool work deadlock-free —
       // the jobs a waiter depends on are either queued (it runs them) or
       // already running on some thread (it blocks until they retire).
+      steals_.fetch_add(1, std::memory_order_relaxed);
       Job job = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
@@ -135,6 +148,7 @@ void ThreadPool::TaskGroup::run(std::function<void()> fn) {
     // nesting marker still applies so inner parallel_for calls stay inline.
     // The exception contract is the same as the queued path: run() returns
     // normally, the first captured exception surfaces at wait().
+    pool.tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     const ActivePoolScope scope(&pool);
     try {
       fn();

@@ -20,8 +20,10 @@
 // cover disjoint index ranges and reductions stay serial in index order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -75,6 +77,22 @@ class ThreadPool {
   /// THIS pool (a worker running a job, or a caller running its own chunk /
   /// a stolen job). parallel_for uses this to detect nesting.
   [[nodiscard]] bool in_pool_work() const;
+
+  /// Point-in-time pool telemetry (the observability layer surfaces these
+  /// through callback gauges — see service/session_manager.cpp).
+  ///   queue_depth     jobs enqueued but not yet picked up
+  ///   tasks_executed  jobs retired through the queue machinery, including
+  ///                   TaskGroup::run's inline fallback on a workerless
+  ///                   pool (caller-owned parallel_for chunks are not jobs)
+  ///   steals          of those, jobs executed by a WAITING thread (a
+  ///                   TaskGroup/parallel_for waiter draining the queue
+  ///                   instead of idling) rather than a pool worker
+  struct PoolStats {
+    std::size_t queue_depth = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;
+  };
+  [[nodiscard]] PoolStats stats() const;
 
  private:
   /// Completion state for one wave of jobs (one parallel_for call or one
@@ -148,13 +166,17 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::size_t hw_threads_ = 1;  ///< host core count; caps parallel_for fan-out
-  std::mutex mu_;
+  mutable std::mutex mu_;  ///< mutable: const stats() reads the queue depth
   /// One condition variable for every event: job enqueued, a Sync reaching
   /// zero, shutdown. Waiters re-check their own predicate; the queue only
   /// transitions empty -> non-empty under notify_all, so no wakeup is lost.
   std::condition_variable cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
+  // Telemetry tallies (see PoolStats). Relaxed: approximate mid-wave reads
+  // are fine for monitoring; totals are exact once the pool is quiescent.
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace radloc

@@ -63,6 +63,8 @@ void MultiSourceLocalizer::maybe_adapt_budget(std::uint64_t prev_iteration) {
   // jumps it across a boundary.
   const std::uint64_t interval = cfg_.filter.budget_adapt_interval;
   if (prev_iteration / interval == filter_.iteration() / interval) return;
+  // Span opens after the interval check: skipped readings cost nothing.
+  const obs::ScopedSpan span(tracer_, obs::Stage::kBudgetAdapt);
   const std::size_t current = filter_.size();
   const double ess_fraction =
       filter_.effective_sample_size() / static_cast<double>(current);
@@ -270,6 +272,9 @@ double MultiSourceLocalizer::detection_evidence(
 }
 
 std::vector<SourceEstimate> MultiSourceLocalizer::estimate() {
+  // The span covers the whole estimation stage: the mean-shift sweep plus
+  // the greedy detection gating that consumes its modes.
+  const obs::ScopedSpan span(tracer_, obs::Stage::kMeanShift);
   auto modes = estimator_.estimate(filter_.positions(), filter_.strengths(), filter_.weights());
   if (std::isinf(cfg_.detection_log_lr) && cfg_.detection_log_lr < 0.0) return modes;
 

@@ -155,6 +155,16 @@ class MultiSourceLocalizer {
   /// bit-identical across thread counts.
   [[nodiscard]] BudgetDiagnostics budget_diagnostics() const;
 
+  /// Borrows a stage tracer for pipeline spans: the filter's per-reading
+  /// stages plus this layer's mean-shift and budget-adapt stages
+  /// (DESIGN.md §5.11). nullptr disables. Passive — results stay
+  /// bit-identical with tracing on. The tracer must outlive the localizer;
+  /// single-threaded tracer contract as in obs/trace.hpp.
+  void set_stage_tracer(obs::StageTracer* tracer) {
+    tracer_ = tracer;
+    filter_.set_stage_tracer(tracer);
+  }
+
  private:
   /// Runs the budget controller when it is enabled and the adapt interval
   /// was crossed between `prev_iteration` and the filter's current
@@ -172,6 +182,7 @@ class MultiSourceLocalizer {
   LocalizerConfig cfg_;
   ThreadPool pool_;
   FusionParticleFilter filter_;
+  obs::StageTracer* tracer_ = nullptr;  ///< null = tracing off
   MeanShiftEstimator estimator_;
   std::unique_ptr<BudgetController> budget_;  ///< null unless adaptive_budget
   /// Reduced-seed mean-shift for the controller's stability signal (null

@@ -170,13 +170,20 @@ std::vector<Particle> FusionParticleFilter::particles() const {
 }
 
 std::size_t FusionParticleFilter::process(const Measurement& m) {
-  MeasurementValidator::enforce(validator_.admit(m));
+  {
+    const obs::ScopedSpan span(tracer_, obs::Stage::kValidate);
+    MeasurementValidator::enforce(validator_.admit(m));
+  }
   const Sensor& sensor = sensors_[m.sensor];
   return process_reading_impl(sensor.pos, sensor.response, m.cpm);
 }
 
 ReadingFault FusionParticleFilter::try_process(const Measurement& m) {
-  const ReadingFault fault = validator_.admit(m);
+  ReadingFault fault;
+  {
+    const obs::ScopedSpan span(tracer_, obs::Stage::kValidate);
+    fault = validator_.admit(m);
+  }
   if (fault != ReadingFault::kNone) return fault;
   const Sensor& sensor = sensors_[m.sensor];
   (void)process_reading_impl(sensor.pos, sensor.response, m.cpm);
@@ -319,6 +326,9 @@ std::size_t FusionParticleFilter::score_reading(const Point2& at, const SensorRe
 bool FusionParticleFilter::select_and_rate(const Point2& at, const SensorResponse& response,
                                            simd::AVector<double>& rates_out,
                                            bool& kernel_pmf_out) {
+  // Span covers the memoizable stage the scoring cache skips on a hit:
+  // spatial selection, predict, and the hypothesis-rate kernels.
+  const obs::ScopedSpan span(tracer_, obs::Stage::kFusionQuery);
   if (grid_dirty_) {
     grid_.rebuild(positions_);
     grid_dirty_ = false;
@@ -419,6 +429,9 @@ bool FusionParticleFilter::select_and_rate(const Point2& at, const SensorRespons
 std::size_t FusionParticleFilter::apply_scores(std::span<const std::uint32_t> subset,
                                                const simd::AVector<double>& rates, double k_sum,
                                                double reps, double log_fact_sum, bool kernel_pmf) {
+  // The weight-update span covers Poisson scoring through the resample
+  // decision; when the resample runs, its span nests inside this one.
+  const obs::ScopedSpan span(tracer_, obs::Stage::kWeightUpdate);
   // --- Weight update (Sec. V-C), computed in log space. ---
   // Raw likelihoods can underflow for wildly wrong hypotheses; we rescale by
   // the subset max log-likelihood. The subset's *total* mass is preserved
@@ -504,6 +517,7 @@ std::size_t FusionParticleFilter::apply_scores(std::span<const std::uint32_t> su
 
 void FusionParticleFilter::resample_subset(std::span<const std::uint32_t> subset,
                                            double subset_mass) {
+  const obs::ScopedSpan span(tracer_, obs::Stage::kResample);
   subset_weights_.resize(subset.size());
   for (std::size_t k = 0; k < subset.size(); ++k) subset_weights_[k] = weights_[subset[k]];
 

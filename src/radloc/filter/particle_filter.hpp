@@ -27,6 +27,7 @@
 #include "radloc/filter/movement.hpp"
 #include "radloc/filter/particle.hpp"
 #include "radloc/geom/grid_index.hpp"
+#include "radloc/obs/trace.hpp"
 #include "radloc/radiation/environment.hpp"
 #include "radloc/radiation/transmission_cache.hpp"
 #include "radloc/rng/rng.hpp"
@@ -121,6 +122,15 @@ class FusionParticleFilter {
   /// pool must outlive the filter (MultiSourceLocalizer wires its own pool
   /// in automatically).
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Borrows a stage tracer for per-reading pipeline spans (validate,
+  /// fusion-disk query, weight update, resample — DESIGN.md §5.11); nullptr
+  /// (the default) disables tracing at the cost of one pointer compare per
+  /// stage. Instrumentation is passive: it never consumes RNG, reorders FP
+  /// work, or changes control flow, so results stay bit-identical with any
+  /// tracer wired. The tracer must outlive the filter and is subject to the
+  /// single-threaded tracer contract (obs/trace.hpp).
+  void set_stage_tracer(obs::StageTracer* tracer) { tracer_ = tracer; }
 
   /// The per-sensor transmission cache, if cfg enabled one (diagnostics).
   [[nodiscard]] const TransmissionCache* transmission_cache() const { return cache_.get(); }
@@ -252,6 +262,7 @@ class FusionParticleFilter {
   Rng rng_;
   MeasurementValidator validator_;
   ThreadPool* pool_ = nullptr;
+  obs::StageTracer* tracer_ = nullptr;  ///< null = tracing off (the default)
   std::unique_ptr<TransmissionCache> cache_;
   const TransmissionCache* shared_cache_ = nullptr;  ///< wins over cache_ when set
 

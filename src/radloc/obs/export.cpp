@@ -1,0 +1,202 @@
+#include "radloc/obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace radloc::obs {
+
+namespace {
+
+/// Shortest clean rendering of a double: integral values print without a
+/// decimal point, everything else with enough digits to round-trip.
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping (the label set is operator-controlled text; control
+/// characters below 0x20 get \u00XX).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels, const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + escape_label_value(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Snapshot of one instrument, copied out under the registry lock so the
+/// exposition can group/sort without holding it.
+struct Sample {
+  std::string name;
+  Labels labels;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  double value = 0.0;
+  // Histogram payload.
+  std::vector<std::uint64_t> bucket_counts;
+  std::vector<double> bucket_bounds;  ///< +inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+std::vector<Sample> snapshot(const MetricsRegistry& registry) {
+  std::vector<Sample> samples;
+  registry.visit([&samples](const MetricsRegistry::Instrument& inst) {
+    Sample s;
+    s.name = inst.name;
+    s.labels = inst.labels;
+    s.kind = inst.kind;
+    if (inst.kind == InstrumentKind::kHistogram) {
+      const Histogram& h = *inst.histogram;
+      s.bucket_counts.reserve(h.num_buckets());
+      s.bucket_bounds.reserve(h.num_buckets());
+      for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+        s.bucket_counts.push_back(h.bucket_count(i));
+        s.bucket_bounds.push_back(h.upper_bound(i));
+      }
+      s.count = h.count();
+      s.sum = h.sum();
+      s.p50 = h.quantile(0.50);
+      s.p95 = h.quantile(0.95);
+      s.p99 = h.quantile(0.99);
+    } else {
+      s.value = inst.scalar();
+    }
+    samples.push_back(std::move(s));
+  });
+  return samples;
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os) {
+  std::vector<Sample> samples = snapshot(registry);
+  // One # TYPE line per metric name: group by name, keeping registration
+  // order within a name (stable sort).
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  const std::string* prev_name = nullptr;
+  for (const Sample& s : samples) {
+    if (prev_name == nullptr || *prev_name != s.name) {
+      os << "# TYPE " << s.name << " " << to_string(s.kind) << "\n";
+      prev_name = &s.name;
+    }
+    if (s.kind == InstrumentKind::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+        cum += s.bucket_counts[i];
+        os << s.name << "_bucket" << label_block(s.labels, "le", format_number(s.bucket_bounds[i]))
+           << " " << cum << "\n";
+      }
+      os << s.name << "_sum" << label_block(s.labels) << " " << format_number(s.sum) << "\n";
+      os << s.name << "_count" << label_block(s.labels) << " " << s.count << "\n";
+    } else {
+      os << s.name << label_block(s.labels) << " " << format_number(s.value) << "\n";
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus(registry, os);
+  return os.str();
+}
+
+void write_trace_jsonl(std::span<const TraceEvent> events, std::ostream& os) {
+  for (const TraceEvent& e : events) {
+    os << "{\"type\":\"span\",\"session\":" << e.session << ",\"seq\":" << e.seq
+       << ",\"stage\":\"" << to_string(e.stage) << "\",\"start_us\":" << format_number(e.start_us)
+       << ",\"duration_us\":" << format_number(e.duration_us) << "}\n";
+  }
+}
+
+void write_metrics_jsonl(const MetricsRegistry& registry, std::ostream& os) {
+  const std::vector<Sample> samples = snapshot(registry);
+  for (const Sample& s : samples) {
+    os << "{\"type\":\"" << to_string(s.kind) << "\",\"name\":\"" << escape_json(s.name)
+       << "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
+    }
+    os << "}";
+    if (s.kind == InstrumentKind::kHistogram) {
+      os << ",\"count\":" << s.count << ",\"sum\":" << format_number(s.sum)
+         << ",\"p50\":" << format_number(s.p50) << ",\"p95\":" << format_number(s.p95)
+         << ",\"p99\":" << format_number(s.p99);
+    } else {
+      os << ",\"value\":" << format_number(s.value);
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace radloc::obs

@@ -1,0 +1,189 @@
+#include "radloc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace radloc::obs {
+
+namespace {
+
+/// Lock-free add for pre-C++20-fetch_add portability on atomic<double>.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+/// Canonical lookup key: name and key-sorted labels joined with control
+/// separators no real label should contain.
+std::string canonical_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::size_t Counter::shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+Histogram::Histogram(const HistogramSpec& spec) : spec_(spec) {
+  if (!(spec_.first_bound > 0.0) || !std::isfinite(spec_.first_bound)) {
+    throw std::invalid_argument("histogram first_bound must be finite and positive");
+  }
+  if (!(spec_.growth > 1.0) || !std::isfinite(spec_.growth)) {
+    throw std::invalid_argument("histogram growth must be finite and > 1");
+  }
+  if (spec_.buckets < 3) {
+    throw std::invalid_argument("histogram needs at least 3 buckets");
+  }
+  num_buckets_ = spec_.buckets;
+  bounds_.resize(num_buckets_ - 1);
+  double bound = spec_.first_bound;
+  for (std::size_t i = 0; i + 1 < num_buckets_; ++i) {
+    bounds_[i] = bound;
+    bound *= spec_.growth;
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_buckets_);
+  for (std::size_t i = 0; i < num_buckets_; ++i) counts_[i].store(0, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  // NaN and negatives land in the underflow bucket: a latency can only be
+  // malformed, never meaningfully negative, and a histogram must not throw
+  // on the hot path.
+  if (!(v >= bounds_.front())) return 0;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) atomic_add(sum_, v);
+}
+
+double Histogram::upper_bound(std::size_t i) const {
+  if (i + 1 >= num_buckets_) return std::numeric_limits<double>::infinity();
+  return bounds_[i];
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank, matching the seed service layer's exact-window percentile:
+  // rank = floor(q * (n - 1)), 0-based over the sorted observations.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t cum = 0;
+  std::size_t bucket = num_buckets_ - 1;
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    if (cum > rank) {
+      bucket = i;
+      break;
+    }
+  }
+  // Representative value: the geometric midpoint of the bucket (arithmetic
+  // midpoint for the underflow; lower edge for the unbounded overflow).
+  if (bucket == 0) return 0.5 * bounds_.front();
+  if (bucket + 1 >= num_buckets_) return bounds_.back();
+  return std::sqrt(bounds_[bucket - 1] * bounds_[bucket]);
+}
+
+const char* to_string(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kCallbackGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+double MetricsRegistry::Instrument::scalar() const {
+  switch (kind) {
+    case InstrumentKind::kCounter: return static_cast<double>(counter->value());
+    case InstrumentKind::kGauge: return gauge->value();
+    case InstrumentKind::kCallbackGauge: return callback();
+    case InstrumentKind::kHistogram: return static_cast<double>(histogram->count());
+  }
+  return 0.0;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(const std::string& name,
+                                                             Labels labels, InstrumentKind kind,
+                                                             const HistogramSpec* spec) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = canonical_key(name, labels);
+  const std::lock_guard lock(mu_);
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const std::pair<std::string, std::size_t>& e, const std::string& k) {
+        return e.first < k;
+      });
+  if (it != index_.end() && it->first == key) {
+    Instrument& found = *instruments_[it->second];
+    if (found.kind != kind) {
+      throw std::invalid_argument("metric '" + name + "' re-registered as a different kind");
+    }
+    return found;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = name;
+  inst->labels = std::move(labels);
+  inst->kind = kind;
+  switch (kind) {
+    case InstrumentKind::kCounter: inst->counter = std::make_unique<Counter>(); break;
+    case InstrumentKind::kGauge: inst->gauge = std::make_unique<Gauge>(); break;
+    case InstrumentKind::kCallbackGauge: break;  // caller installs the fn
+    case InstrumentKind::kHistogram:
+      inst->histogram = std::make_unique<Histogram>(spec != nullptr ? *spec : HistogramSpec{});
+      break;
+  }
+  instruments_.push_back(std::move(inst));
+  index_.insert(it, {key, instruments_.size() - 1});
+  return *instruments_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  return *find_or_create(name, std::move(labels), InstrumentKind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  return *find_or_create(name, std::move(labels), InstrumentKind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      const HistogramSpec& spec) {
+  return *find_or_create(name, std::move(labels), InstrumentKind::kHistogram, &spec).histogram;
+}
+
+void MetricsRegistry::callback_gauge(const std::string& name, Labels labels,
+                                     std::function<double()> fn) {
+  find_or_create(name, std::move(labels), InstrumentKind::kCallbackGauge, nullptr).callback =
+      std::move(fn);
+}
+
+void MetricsRegistry::visit(const std::function<void(const Instrument&)>& fn) const {
+  const std::lock_guard lock(mu_);
+  for (const auto& inst : instruments_) fn(*inst);
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard lock(mu_);
+  return instruments_.size();
+}
+
+}  // namespace radloc::obs

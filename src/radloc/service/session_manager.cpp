@@ -17,13 +17,15 @@ double microseconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
-/// Percentile over an unordered sample copy (nearest-rank).
-double percentile(std::vector<double>& samples, double p) {
-  if (samples.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
-  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(rank),
-                   samples.end());
-  return samples[rank];
+/// Registry instruments are optional (null without a MetricsRegistry); these
+/// keep the mirroring sites one-liners. A zero-delta bump is skipped so an
+/// idle counter costs nothing.
+void bump(obs::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr && n != 0) c->add(n);
+}
+
+void publish(obs::Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
 }
 
 }  // namespace
@@ -39,7 +41,51 @@ struct SessionManager::Session {
   SessionConfig cfg;
   MultiSourceLocalizer localizer;
 
-  /// Queue + counters + latency window. Held only for O(1) operations so
+  /// Registry mirrors of the per-session tallies; every pointer is null when
+  /// the manager has no MetricsRegistry. The mu-guarded fields below stay
+  /// authoritative (SessionStats snapshots read THEM) — the instruments are
+  /// export-side copies: ingest-side counters add at the tally site, drain
+  /// -side counters publish advance-deltas of the localizer's cumulative
+  /// counters (guarded by drain_mu via the prev_* trackers).
+  struct Instruments {
+    obs::Counter* ingested = nullptr;
+    obs::Counter* processed = nullptr;
+    obs::Counter* applied = nullptr;
+    obs::Counter* rejected_malformed = nullptr;
+    obs::Counter* rejected_full = nullptr;
+    obs::Counter* dropped_oldest = nullptr;
+    std::array<obs::Counter*, kReadingFaultCount> faults{};  ///< [kNone] unused
+    obs::Counter* drains = nullptr;
+    obs::Counter* cache_lookups = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* fused_groups = nullptr;
+    obs::Counter* fused_readings = nullptr;
+    obs::Counter* resamples_performed = nullptr;
+    obs::Counter* resamples_skipped = nullptr;
+    obs::Counter* generation_bumps = nullptr;
+    obs::Counter* budget_runs = nullptr;
+    obs::Counter* budget_grow = nullptr;
+    obs::Counter* budget_shrink = nullptr;
+    obs::Counter* budget_ess_alarms = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* ess_fraction = nullptr;
+    obs::Gauge* particle_budget = nullptr;
+  };
+  Instruments ins;
+
+  /// Cumulative per-reading drain-latency histogram backing the p50/p99 in
+  /// SessionStats. Points at the registry-owned instrument when the manager
+  /// has a registry, else at owned_latency — never null after open().
+  obs::Histogram* latency_hist = nullptr;
+  std::unique_ptr<obs::Histogram> owned_latency;
+
+  /// Stage tracer for this session's pipeline spans. Only touched under
+  /// drain_mu (drains and estimates), satisfying the single-threaded tracer
+  /// contract; with no TraceSink the localizer keeps a null tracer and every
+  /// span site is a single pointer compare.
+  obs::StageTracer tracer;
+
+  /// Queue + counters + latency histogram. Held only for O(1) operations so
   /// ingest stays cheap while a drain is in flight.
   mutable std::mutex mu;
   MeasurementValidator validator;  ///< ingest-time tallies (guarded by mu)
@@ -49,10 +95,6 @@ struct SessionManager::Session {
   std::size_t applied = 0;
   std::size_t rejected_full = 0;
   std::size_t dropped_oldest = 0;
-  // Sliding latency window: a ring of the most recent per-reading drain
-  // latencies (µs). head is the next overwrite slot once the ring is full.
-  std::vector<double> latency_us;
-  std::size_t latency_head = 0;
   // Budget telemetry snapshotted at the end of each drain (guarded by mu).
   std::size_t current_budget = 0;
   double ess_fraction = 1.0;
@@ -68,7 +110,40 @@ struct SessionManager::Session {
   std::vector<SessionReading> backlog;
   std::vector<Measurement> batch;
   std::vector<double> batch_latency_us;
+  // Advance-delta trackers for the drain-side counter mirrors: the filter
+  // and budget counters are cumulative, the registry wants increments.
+  std::uint64_t prev_cache_lookups = 0;
+  std::uint64_t prev_cache_hits = 0;
+  std::uint64_t prev_fused_groups = 0;
+  std::uint64_t prev_fused_readings = 0;
+  std::uint64_t prev_resamples_performed = 0;
+  std::uint64_t prev_resamples_skipped = 0;
+  std::uint64_t prev_generation = 0;
+  std::uint64_t prev_budget_runs = 0;
+  std::uint64_t prev_budget_grow = 0;
+  std::uint64_t prev_budget_shrink = 0;
+  std::uint64_t prev_budget_alarms = 0;
 };
+
+SessionManager::SessionManager(ThreadPool& pool, ServiceObservability obs)
+    : pool_(&pool), metrics_(obs.metrics), trace_(obs.trace) {
+  if (metrics_ == nullptr) return;
+  // Pull gauges: the pool and session-count numbers are cheap thread-safe
+  // reads, so sampling them at export time beats mirroring every enqueue.
+  // Lock order registry -> (pool mu | manager mu_); nothing acquires the
+  // registry mutex while holding either, so the callbacks cannot deadlock.
+  metrics_->callback_gauge("radloc_sessions_open", {},
+                           [this] { return static_cast<double>(num_sessions()); });
+  metrics_->callback_gauge("radloc_pool_queue_depth", {}, [p = pool_] {
+    return static_cast<double>(p->stats().queue_depth);
+  });
+  metrics_->callback_gauge("radloc_pool_tasks_executed", {}, [p = pool_] {
+    return static_cast<double>(p->stats().tasks_executed);
+  });
+  metrics_->callback_gauge("radloc_pool_steals", {}, [p = pool_] {
+    return static_cast<double>(p->stats().steals);
+  });
+}
 
 SessionManager::SessionId SessionManager::open(const Environment& env,
                                                std::vector<Sensor> sensors, SessionConfig cfg,
@@ -76,9 +151,56 @@ SessionManager::SessionId SessionManager::open(const Environment& env,
   if (cfg.queue_capacity == 0) {
     throw std::invalid_argument("session queue capacity must be at least 1");
   }
+  // The id is allocated up front (ids are never reused, so an open that
+  // throws later just skips one) because the instruments need it for labels
+  // — and they must register BEFORE mu_ is retaken: registration takes the
+  // registry mutex, which the sessions-open pull gauge holds while it takes
+  // mu_, so registering under mu_ would invert that order.
+  SessionId id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    id = next_id_++;
+  }
   auto session = std::make_shared<Session>(env, std::move(sensors), cfg, seed, pool_);
+  if (metrics_ != nullptr) {
+    const obs::Labels sl{{"session", std::to_string(id)}};
+    auto& ins = session->ins;
+    ins.ingested = &metrics_->counter("radloc_session_readings_ingested_total", sl);
+    ins.processed = &metrics_->counter("radloc_session_readings_processed_total", sl);
+    ins.applied = &metrics_->counter("radloc_session_readings_applied_total", sl);
+    ins.rejected_malformed = &metrics_->counter("radloc_session_rejected_malformed_total", sl);
+    ins.rejected_full = &metrics_->counter("radloc_session_rejected_full_total", sl);
+    ins.dropped_oldest = &metrics_->counter("radloc_session_dropped_oldest_total", sl);
+    for (std::size_t f = 1; f < kReadingFaultCount; ++f) {
+      obs::Labels fl = sl;
+      fl.emplace_back("fault", to_string(static_cast<ReadingFault>(f)));
+      ins.faults[f] = &metrics_->counter("radloc_session_ingest_faults_total", std::move(fl));
+    }
+    ins.drains = &metrics_->counter("radloc_session_drains_total", sl);
+    ins.cache_lookups = &metrics_->counter("radloc_filter_cache_lookups_total", sl);
+    ins.cache_hits = &metrics_->counter("radloc_filter_cache_hits_total", sl);
+    ins.fused_groups = &metrics_->counter("radloc_filter_fused_groups_total", sl);
+    ins.fused_readings = &metrics_->counter("radloc_filter_fused_readings_total", sl);
+    ins.resamples_performed = &metrics_->counter("radloc_filter_resamples_performed_total", sl);
+    ins.resamples_skipped = &metrics_->counter("radloc_filter_resamples_skipped_total", sl);
+    ins.generation_bumps = &metrics_->counter("radloc_filter_generation_bumps_total", sl);
+    ins.budget_runs = &metrics_->counter("radloc_budget_runs_total", sl);
+    ins.budget_grow = &metrics_->counter("radloc_budget_grow_total", sl);
+    ins.budget_shrink = &metrics_->counter("radloc_budget_shrink_total", sl);
+    ins.budget_ess_alarms = &metrics_->counter("radloc_budget_ess_alarms_total", sl);
+    ins.queue_depth = &metrics_->gauge("radloc_session_queue_depth", sl);
+    ins.ess_fraction = &metrics_->gauge("radloc_filter_ess_fraction", sl);
+    ins.particle_budget = &metrics_->gauge("radloc_filter_particle_budget", sl);
+    session->latency_hist = &metrics_->histogram("radloc_session_drain_latency_us", sl);
+  } else {
+    session->owned_latency = std::make_unique<obs::Histogram>();
+    session->latency_hist = session->owned_latency.get();
+  }
+  if (trace_ != nullptr) {
+    session->tracer = obs::StageTracer(trace_, id);
+    session->localizer.set_stage_tracer(&session->tracer);
+  }
   const std::lock_guard lock(mu_);
-  const SessionId id = next_id_++;
   sessions_.emplace(id, std::move(session));
   return id;
 }
@@ -94,7 +216,10 @@ bool SessionManager::close(SessionId id) {
   }
   // `victim` destructs here (or when the last concurrent borrower drops its
   // reference — shared_ptr keeps racing ingests/stats on a just-closed
-  // session memory-safe; their writes simply die with the session).
+  // session memory-safe; their writes simply die with the session). Its
+  // registry instruments stay registered: closed-session counters keep
+  // their final values in exports, which is what monotonic counters owe a
+  // scrape pipeline.
   return true;
 }
 
@@ -116,20 +241,30 @@ IngestStatus SessionManager::ingest(SessionId id, const SessionReading& reading)
   const std::shared_ptr<Session> s = find(id);
   const std::lock_guard lock(s->mu);
   const ReadingFault fault = s->validator.admit_timed(reading.m, reading.timestamp);
-  if (fault != ReadingFault::kNone) return IngestStatus::kRejectedMalformed;
+  if (fault != ReadingFault::kNone) {
+    bump(s->ins.rejected_malformed);
+    bump(s->ins.faults[static_cast<std::size_t>(fault)]);
+    return IngestStatus::kRejectedMalformed;
+  }
   if (s->queue.size() >= s->cfg.queue_capacity) {
     if (s->cfg.backpressure == BackpressurePolicy::kRejectNewest) {
       ++s->rejected_full;
+      bump(s->ins.rejected_full);
       return IngestStatus::kRejectedFull;
     }
     s->queue.pop_front();
     ++s->dropped_oldest;
     s->queue.push_back(reading);
     ++s->ingested;
+    bump(s->ins.dropped_oldest);
+    bump(s->ins.ingested);
+    publish(s->ins.queue_depth, static_cast<double>(s->queue.size()));
     return IngestStatus::kQueuedDroppedOldest;
   }
   s->queue.push_back(reading);
   ++s->ingested;
+  bump(s->ins.ingested);
+  publish(s->ins.queue_depth, static_cast<double>(s->queue.size()));
   return IngestStatus::kQueued;
 }
 
@@ -137,6 +272,9 @@ std::size_t SessionManager::drain_session(Session& s) {
   // One drainer per session at a time: within a session, readings apply
   // strictly in queue order on a single thread — the determinism contract.
   const std::lock_guard drain_lock(s.drain_mu);
+  // Service-layer envelope span: the per-reading stage spans the localizer
+  // emits all nest (in time) inside this one drain.
+  const obs::ScopedSpan span(&s.tracer, obs::Stage::kDrain);
   {
     const std::lock_guard lock(s.mu);
     s.backlog.assign(s.queue.begin(), s.queue.end());
@@ -176,6 +314,34 @@ std::size_t SessionManager::drain_session(Session& s) {
   const std::uint64_t hits = filter.scoring_cache_hits();
   const std::uint64_t fgroups = filter.fused_groups();
   const std::uint64_t freadings = filter.fused_readings();
+
+  // Drain-side counter mirrors: advance-deltas of the cumulative localizer
+  // counters since the previous drain (prev_* guarded by drain_mu).
+  bump(s.ins.drains);
+  bump(s.ins.cache_lookups, lookups - s.prev_cache_lookups);
+  s.prev_cache_lookups = lookups;
+  bump(s.ins.cache_hits, hits - s.prev_cache_hits);
+  s.prev_cache_hits = hits;
+  bump(s.ins.fused_groups, fgroups - s.prev_fused_groups);
+  s.prev_fused_groups = fgroups;
+  bump(s.ins.fused_readings, freadings - s.prev_fused_readings);
+  s.prev_fused_readings = freadings;
+  bump(s.ins.resamples_performed, filter.resamples_performed() - s.prev_resamples_performed);
+  s.prev_resamples_performed = filter.resamples_performed();
+  bump(s.ins.resamples_skipped, filter.resamples_skipped() - s.prev_resamples_skipped);
+  s.prev_resamples_skipped = filter.resamples_skipped();
+  bump(s.ins.generation_bumps, filter.particle_generation() - s.prev_generation);
+  s.prev_generation = filter.particle_generation();
+  const BudgetDiagnostics bd = s.localizer.budget_diagnostics();
+  bump(s.ins.budget_runs, bd.controller_runs - s.prev_budget_runs);
+  s.prev_budget_runs = bd.controller_runs;
+  bump(s.ins.budget_grow, bd.grow_events - s.prev_budget_grow);
+  s.prev_budget_grow = bd.grow_events;
+  bump(s.ins.budget_shrink, bd.shrink_events - s.prev_budget_shrink);
+  s.prev_budget_shrink = bd.shrink_events;
+  bump(s.ins.budget_ess_alarms, bd.ess_alarm_events - s.prev_budget_alarms);
+  s.prev_budget_alarms = bd.ess_alarm_events;
+
   {
     const std::lock_guard lock(s.mu);
     s.processed += drained;
@@ -186,14 +352,15 @@ std::size_t SessionManager::drain_session(Session& s) {
         lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
     s.fused_batch_len =
         fgroups > 0 ? static_cast<double>(freadings) / static_cast<double>(fgroups) : 0.0;
-    for (const double us : s.batch_latency_us) {
-      if (s.latency_us.size() < s.cfg.latency_window) {
-        s.latency_us.push_back(us);
-      } else {
-        s.latency_us[s.latency_head] = us;
-        s.latency_head = (s.latency_head + 1) % s.cfg.latency_window;
-      }
-    }
+    // Latency lands in the histogram inside the SAME critical section as
+    // the processed tally, pinning latency_samples == processed for every
+    // stats() snapshot (the observe itself is atomic and allocation-free).
+    for (const double us : s.batch_latency_us) s.latency_hist->observe(us);
+    bump(s.ins.processed, drained);
+    bump(s.ins.applied, result.processed);
+    publish(s.ins.queue_depth, static_cast<double>(s.queue.size()));
+    publish(s.ins.ess_fraction, s.ess_fraction);
+    publish(s.ins.particle_budget, static_cast<double>(budget));
   }
   return drained;
 }
@@ -232,32 +399,30 @@ std::size_t SessionManager::drain_all() {
 SessionStats SessionManager::stats(SessionId id) const {
   const std::shared_ptr<Session> s = find(id);
   SessionStats out;
-  std::vector<double> samples;
-  {
-    const std::lock_guard lock(s->mu);
-    out.queue_depth = s->queue.size();
-    out.ingested = s->ingested;
-    out.processed = s->processed;
-    out.applied = s->applied;
-    out.rejected_full = s->rejected_full;
-    out.dropped_oldest = s->dropped_oldest;
-    out.rejected_malformed = s->validator.rejected();
-    for (std::size_t f = 0; f < kReadingFaultCount; ++f) {
-      out.faults[f] = s->validator.count(static_cast<ReadingFault>(f));
-    }
-    // Every reading the service applied is exactly one filter iteration, so
-    // the counter can come from the mu-guarded tally — reading
-    // localizer.iterations() here would race an in-flight drain.
-    out.filter_iterations = s->applied;
-    out.current_budget = s->current_budget;
-    out.ess_fraction = s->ess_fraction;
-    out.cache_hit_rate = s->cache_hit_rate;
-    out.fused_batch_len = s->fused_batch_len;
-    samples = s->latency_us;
+  const std::lock_guard lock(s->mu);
+  out.queue_depth = s->queue.size();
+  out.ingested = s->ingested;
+  out.processed = s->processed;
+  out.applied = s->applied;
+  out.rejected_full = s->rejected_full;
+  out.dropped_oldest = s->dropped_oldest;
+  out.rejected_malformed = s->validator.rejected();
+  for (std::size_t f = 0; f < kReadingFaultCount; ++f) {
+    out.faults[f] = s->validator.count(static_cast<ReadingFault>(f));
   }
-  out.latency_samples = samples.size();
-  out.p50_latency_us = percentile(samples, 0.50);
-  out.p99_latency_us = percentile(samples, 0.99);
+  // Every reading the service applied is exactly one filter iteration, so
+  // the counter can come from the mu-guarded tally — reading
+  // localizer.iterations() here would race an in-flight drain.
+  out.filter_iterations = s->applied;
+  out.current_budget = s->current_budget;
+  out.ess_fraction = s->ess_fraction;
+  out.cache_hit_rate = s->cache_hit_rate;
+  out.fused_batch_len = s->fused_batch_len;
+  // The histogram is written under this same mutex (drain_session), so the
+  // sample count is exactly `processed` in every snapshot.
+  out.latency_samples = static_cast<std::size_t>(s->latency_hist->count());
+  out.p50_latency_us = s->latency_hist->quantile(0.50);
+  out.p99_latency_us = s->latency_hist->quantile(0.99);
   return out;
 }
 

@@ -26,7 +26,17 @@
 //            tests/test_stress_service.cpp).
 //   stats    per-session telemetry: queue depth, ingest/drop/reject
 //            counters, per-fault tallies, p50/p99 per-reading drain latency
-//            over a sliding sample window.
+//            from a fixed-bucket log-scale histogram (obs/metrics.hpp).
+//
+// Observability (DESIGN.md §5.11): constructed with a ServiceObservability
+// handle, the manager mirrors every per-session tally into named
+// MetricsRegistry instruments (counters/gauges/latency histogram, labelled
+// by session id), registers pull gauges for the shared pool, and threads a
+// per-session StageTracer through the localizer so each drained reading
+// emits pipeline stage spans into the TraceSink. All of it is passive —
+// filter results stay bit-identical — and with the default (null) handle
+// the manager behaves exactly as before, with a session-owned histogram
+// backing the latency percentiles.
 //
 // Exception-safety contract (DESIGN.md §5.8): drain() schedules work
 // through TaskGroup, so the first exception thrown by any session's drain
@@ -47,6 +57,8 @@
 
 #include "radloc/concurrency/thread_pool.hpp"
 #include "radloc/core/localizer.hpp"
+#include "radloc/obs/metrics.hpp"
+#include "radloc/obs/trace.hpp"
 #include "radloc/radiation/environment.hpp"
 #include "radloc/sensornet/sensor.hpp"
 #include "radloc/sensornet/validation.hpp"
@@ -80,8 +92,6 @@ struct SessionConfig {
   std::size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kRejectNewest;
   DrainOrder drain_order = DrainOrder::kArrival;
-  /// Sliding window of per-reading drain latencies kept for p50/p99.
-  std::size_t latency_window = 1024;
 };
 
 /// Verdict of one ingest call.
@@ -107,8 +117,12 @@ struct SessionStats {
   /// Ingest-time per-fault tallies (index by ReadingFault; kNone = accepts).
   std::array<std::size_t, kReadingFaultCount> faults{};
   std::uint64_t filter_iterations = 0;
-  /// Per-reading drain latency percentiles over the sliding window, in
-  /// microseconds; 0 when no reading has been drained yet.
+  /// Per-reading drain latency percentiles over ALL drained readings, in
+  /// microseconds, read from the session's log-scale latency histogram
+  /// (bucket-resolution nearest-rank, obs::Histogram::quantile); 0 when no
+  /// reading has been drained yet. latency_samples always equals processed:
+  /// the histogram is updated in the same critical section as the processed
+  /// tally, so a stats() snapshot never sees them diverge.
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   std::size_t latency_samples = 0;
@@ -129,6 +143,16 @@ struct SessionStats {
   double fused_batch_len = 0.0;
 };
 
+/// Borrowed observability backends for a SessionManager; both optional and
+/// both externally owned. Lifetime: the backends must outlive the manager,
+/// and the registry must not be visited (exported) after the manager or its
+/// pool is destroyed — the manager registers pull gauges whose callbacks
+/// read manager and pool state.
+struct ServiceObservability {
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = no metric mirroring
+  obs::TraceSink* trace = nullptr;          ///< null = no stage spans
+};
+
 /// Multiplexes many independent MultiSourceLocalizer sessions over one
 /// shared ThreadPool. ingest() is safe from any thread; drain()/drain(id)
 /// may run concurrently with ingests (each drain processes the backlog
@@ -142,7 +166,9 @@ class SessionManager {
   /// `pool` is the shared worker pool (must outlive the manager). Every
   /// session's localizer borrows it, so inner weight-update parallelism
   /// collapses inline under drain tasks per the §5.6 nesting policy.
-  explicit SessionManager(ThreadPool& pool) : pool_(&pool) {}
+  /// `obs` optionally plugs in a metrics registry and a trace sink (see
+  /// ServiceObservability for the lifetime contract).
+  explicit SessionManager(ThreadPool& pool, ServiceObservability obs = {});
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -190,6 +216,8 @@ class SessionManager {
   std::size_t drain_session(Session& s);
 
   ThreadPool* pool_;
+  obs::MetricsRegistry* metrics_;  ///< null = metrics mirroring off
+  obs::TraceSink* trace_;          ///< null = stage tracing off
   mutable std::mutex mu_;  ///< guards sessions_ and next_id_
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   SessionId next_id_ = 1;

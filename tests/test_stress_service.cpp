@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "radloc/obs/export.hpp"
 #include "radloc/rng/distributions.hpp"
 #include "radloc/sensornet/delivery.hpp"
 #include "radloc/sensornet/placement.hpp"
@@ -193,6 +194,128 @@ TEST_P(StressService, ConcurrentMultiplexBitIdenticalToSerialReplay) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressService, ::testing::Values(1u, 23u, 456u));
+
+// Observability-enabled variant: the same multiplex contract with a
+// MetricsRegistry and TraceSink plugged in, plus mid-flight snapshot
+// consistency. Every stats() snapshot — taken while ingests and drains are
+// racing — must satisfy the cross-counter invariants (one-acquire
+// semantics: the counters cannot be torn across the drain's critical
+// section), and the registry exporter runs concurrently to exercise the
+// pull-gauge lock ordering under tsan.
+TEST(StressServiceObs, EnabledObservabilityKeepsDeterminismAndSnapshotConsistency) {
+  const std::uint64_t master_seed = 77;
+  Environment env(make_area(100, 100));
+  std::vector<Sensor> sensors = place_grid(env.bounds(), 6, 6);
+  set_background(sensors, 5.0);
+
+  constexpr std::size_t kSessions = 8;
+  constexpr int kSteps = 5;
+  constexpr std::size_t kProducers = 3;
+
+  SessionConfig cfg;
+  cfg.localizer.filter.num_particles = 600;
+  cfg.queue_capacity = 1 << 14;
+
+  std::vector<SessionScript> scripts;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    scripts.push_back(make_script(env, sensors, k, master_seed * 1000 + k, kSteps));
+  }
+
+  ThreadPool pool(4, 4);
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink(2048, /*sample_interval=*/4);
+  SessionManager mgr(pool, ServiceObservability{&registry, &sink});
+  std::vector<SessionManager::SessionId> ids;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    ids.push_back(mgr.open(env, sensors, cfg, master_seed ^ (k * 7919)));
+  }
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t k = p; k < kSessions; k += kProducers) {
+        for (const SessionReading& r : scripts[k].feed) {
+          const IngestStatus status = mgr.ingest(ids[k], r);
+          ASSERT_NE(status, IngestStatus::kRejectedFull);
+          ASSERT_NE(status, IngestStatus::kQueuedDroppedOldest);
+        }
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  while (producers_done.load() < kProducers) {
+    mgr.drain_all();
+    for (std::size_t k = 0; k < kSessions; ++k) {
+      // Mid-flight snapshot invariants: all counters read under ONE mutex
+      // acquisition, so no snapshot may catch the drain's tallies half
+      // applied.
+      const SessionStats st = mgr.stats(ids[k]);
+      EXPECT_LE(st.applied, st.processed) << k;
+      EXPECT_LE(st.processed + st.queue_depth, st.ingested) << k;
+      EXPECT_EQ(st.latency_samples, st.processed) << k;
+    }
+    // Concurrent export: visits every instrument and samples the pull
+    // gauges (pool stats, session count) while drains are running.
+    (void)obs::prometheus_text(registry);
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  mgr.drain_all();
+
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    const SessionScript& script = scripts[k];
+    const std::size_t valid = script.feed.size() - script.malformed;
+    const SessionStats st = mgr.stats(ids[k]);
+    EXPECT_EQ(st.queue_depth, 0u) << k;
+    EXPECT_EQ(st.ingested, valid) << k;
+    EXPECT_EQ(st.processed, valid) << k;
+    EXPECT_EQ(st.latency_samples, valid) << k;
+    EXPECT_EQ(st.rejected_malformed, script.malformed) << k;
+
+    // Registry mirrors agree with the authoritative snapshot once quiesced.
+    const obs::Labels sl{{"session", std::to_string(ids[k])}};
+    EXPECT_EQ(registry.counter("radloc_session_readings_ingested_total", sl).value(), valid)
+        << k;
+    EXPECT_EQ(registry.counter("radloc_session_readings_processed_total", sl).value(), valid)
+        << k;
+    EXPECT_EQ(registry.counter("radloc_session_readings_applied_total", sl).value(),
+              st.applied)
+        << k;
+    EXPECT_EQ(registry.counter("radloc_session_rejected_malformed_total", sl).value(),
+              script.malformed)
+        << k;
+    EXPECT_EQ(registry.histogram("radloc_session_drain_latency_us", sl).count(), valid) << k;
+
+    // Tracing and metric mirroring must not perturb the filter: state stays
+    // bit-identical to the serial replay, exactly as in the plain harness.
+    MultiSourceLocalizer serial(env, sensors, cfg.localizer, master_seed ^ (k * 7919));
+    replay_serial(serial, script);
+    EXPECT_EQ(st.applied, serial.iterations()) << k;
+    const auto& managed = mgr.localizer(ids[k]);
+    ASSERT_EQ(managed.filter().size(), serial.filter().size()) << k;
+    ASSERT_EQ(managed.iterations(), serial.iterations()) << k;
+    for (std::size_t i = 0; i < managed.filter().size(); ++i) {
+      ASSERT_EQ(managed.filter().weights()[i], serial.filter().weights()[i]) << k << ":" << i;
+      ASSERT_EQ(managed.filter().positions()[i], serial.filter().positions()[i])
+          << k << ":" << i;
+      ASSERT_EQ(managed.filter().strengths()[i], serial.filter().strengths()[i])
+          << k << ":" << i;
+    }
+  }
+
+  // The sink saw spans (sampling 1-in-4 over thousands of stage executions)
+  // and every drained event carries a known stage and session label.
+  const std::vector<obs::TraceEvent> events = sink.drain();
+  EXPECT_FALSE(events.empty());
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_LT(static_cast<std::size_t>(e.stage), obs::kStageCount);
+    EXPECT_GE(e.duration_us, 0.0);
+    bool known = false;
+    for (const auto id : ids) known = known || e.session == id;
+    EXPECT_TRUE(known) << e.session;
+  }
+}
 
 }  // namespace
 }  // namespace radloc

@@ -31,6 +31,7 @@ DEFAULT_BENCHES = [
     "session_multiplex",
     "adaptive_budget",
     "scoring_cache",
+    "telemetry_overhead",
 ]
 
 # Metric-name fragments that identify the "bigger is better" direction.

@@ -2,7 +2,7 @@
 # radloc correctness gauntlet: tier-1 tests plus the sanitizer suites.
 #
 #   tools/check.sh            # release + asan + tsan (full ctest each)
-#   tools/check.sh release    # any subset of: release asan tsan benchsmoke serve
+#   tools/check.sh release    # any subset of: release asan tsan benchsmoke serve obs
 #   RADLOC_CHECK_JOBS=8 tools/check.sh
 #
 # The release stage's ctest includes the `benchsmoke` label (every bench
@@ -21,6 +21,11 @@
 # plus bench_session_multiplex --smoke diffed against the committed
 # BENCH_session_multiplex.json. The diff is informational by default; pass
 # --strict to make flagged regressions fail the stage.
+#
+# The `obs` stage smoke-tests the observability layer (DESIGN.md §5.11):
+# radloc_serve with --metrics-out/--trace-out, python3-validating that the
+# Prometheus exposition and the trace JSONL parse, then
+# bench_telemetry_overhead --smoke diffed against the committed baseline.
 #
 # Each stage is a CMake preset (see CMakePresets.json); build trees land in
 # build/<preset>. The script stops at the first failing stage.
@@ -46,8 +51,8 @@ for stage in "${stages[@]}"; do
   build_preset="$stage"
   case "$stage" in
     release|asan|tsan) ;;
-    benchsmoke|serve) build_preset="release" ;;
-    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan|benchsmoke|serve)" >&2; exit 2 ;;
+    benchsmoke|serve|obs) build_preset="release" ;;
+    *) echo "check.sh: unknown stage '$stage' (want release|asan|tsan|benchsmoke|serve|obs)" >&2; exit 2 ;;
   esac
   echo "==> [$stage] configure"
   cmake --preset "$build_preset" >/dev/null
@@ -72,6 +77,47 @@ for stage in "${stages[@]}"; do
       python3 tools/bench_compare.py session_multiplex --fresh-dir "$tree/bench" --strict
     else
       python3 tools/bench_compare.py session_multiplex --fresh-dir "$tree/bench" || true
+    fi
+    echo "==> [$stage] OK"
+    continue
+  fi
+  if [ "$stage" = obs ]; then
+    tree="build/$build_preset"
+    echo "==> [$stage] radloc_serve with metrics + trace dumps"
+    "$tree/tools/radloc_serve" --sessions 2 --synthetic 4 --particles 400 \
+        --dump-every 2 --seed 5 \
+        --metrics-out "$tree/obs_smoke_metrics.prom" \
+        --trace-out "$tree/obs_smoke_trace.jsonl" --trace-sample 1 >/dev/null
+    echo "==> [$stage] validate Prometheus exposition + trace JSONL"
+    python3 - "$tree/obs_smoke_metrics.prom" "$tree/obs_smoke_trace.jsonl" <<'PYEOF'
+import json, re, sys
+metrics, trace = sys.argv[1], sys.argv[2]
+line_re = re.compile(r'^(# TYPE \w+ (counter|gauge|histogram)|\w+(\{[^}]*\})? \S+)$')
+names = set()
+with open(metrics) as f:
+    for line in f:
+        assert line_re.match(line.rstrip("\n")), f"bad exposition line: {line!r}"
+        if not line.startswith("#"):
+            names.add(line.split("{")[0].split(" ")[0])
+for required in ("radloc_session_readings_processed_total",
+                 "radloc_session_drain_latency_us_bucket",
+                 "radloc_pool_queue_depth", "radloc_sessions_open"):
+    assert required in names, f"missing metric: {required}"
+spans = 0
+with open(trace) as f:
+    for line in f:
+        event = json.loads(line)
+        assert event["type"] == "span" and "stage" in event, event
+        spans += 1
+assert spans > 0, "no spans recorded"
+print(f"ok: {len(names)} metric series, {spans} spans")
+PYEOF
+    echo "==> [$stage] bench_telemetry_overhead --smoke + compare vs baseline"
+    (cd "$tree/bench" && ./bench_telemetry_overhead --smoke)
+    if [ -n "$strict" ]; then
+      python3 tools/bench_compare.py telemetry_overhead --fresh-dir "$tree/bench" --strict
+    else
+      python3 tools/bench_compare.py telemetry_overhead --fresh-dir "$tree/bench" || true
     fi
     echo "==> [$stage] OK"
     continue

@@ -21,12 +21,14 @@
 // Run with --help for the full flag list.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "radloc/obs/export.hpp"
 #include "radloc/radloc.hpp"
 
 namespace {
@@ -52,6 +54,9 @@ struct Options {
   std::size_t scoring_cache = 0;
   bool fused = false;
   std::uint64_t seed = 1;
+  std::string metrics_out;  // Prometheus text dump path ("" = metrics off)
+  std::string trace_out;    // stage-span JSONL path ("" = tracing off)
+  std::uint64_t trace_sample = obs::TraceSink::kDefaultSampleInterval;
 };
 
 [[noreturn]] void usage(int code) {
@@ -80,6 +85,13 @@ struct Options {
       "                          rejecting the newest reading\n"
       "  --order-by-timestamp    drain batches in timestamp order\n"
       "  --dump-every <k>        dump estimates every k steps (0 = final only)\n"
+      "  --metrics-out <path>    rewrite a Prometheus text-format metrics dump\n"
+      "                          at every dump point (enables the metrics\n"
+      "                          registry; see DESIGN.md §5.11)\n"
+      "  --trace-out <path>      append pipeline stage spans as JSONL at every\n"
+      "                          dump point (enables stage tracing)\n"
+      "  --trace-sample <n>      record every n-th stage span (default 16;\n"
+      "                          0 disables sampling entirely)\n"
       "  --threads <n>           shared pool workers (default 1, or the\n"
       "                          RADLOC_THREADS env var)\n"
       "  --seed <n>              RNG seed (default 1)\n"
@@ -119,6 +131,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--drop-oldest") opt.drop_oldest = true;
     else if (a == "--order-by-timestamp") opt.order_by_timestamp = true;
     else if (a == "--dump-every") opt.dump_every = std::stoul(next(i));
+    else if (a == "--metrics-out") opt.metrics_out = next(i);
+    else if (a == "--trace-out") opt.trace_out = next(i);
+    else if (a == "--trace-sample") opt.trace_sample = std::stoull(next(i));
     else if (a == "--threads") opt.threads = std::stoul(next(i));
     else if (a == "--seed") opt.seed = std::stoull(next(i));
     else {
@@ -145,6 +160,40 @@ Scenario build_scenario(const Options& opt) {
   std::cerr << "unknown scenario: " << opt.scenario << "\n";
   usage(2);
 }
+
+/// Observability outputs: the registry/sink the manager feeds, plus the
+/// dump destinations. flush() is the periodic dump hook — called at every
+/// estimate-dump point and once at exit. Metrics are a rewrite (scrape
+/// semantics: the file is always one complete, current exposition); trace
+/// spans are drained from the ring and appended (events are consumed, so
+/// each flush writes only what arrived since the last one).
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+
+  void flush() const {
+    if (metrics != nullptr && !metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (!out) {
+        std::cerr << "warning: cannot write metrics to " << metrics_path << "\n";
+      } else {
+        obs::write_prometheus(*metrics, out);
+      }
+    }
+    if (trace != nullptr && !trace_path.empty()) {
+      const std::vector<obs::TraceEvent> events = trace->drain();
+      if (events.empty()) return;
+      std::ofstream out(trace_path, std::ios::app);
+      if (!out) {
+        std::cerr << "warning: cannot append trace to " << trace_path << "\n";
+      } else {
+        obs::write_trace_jsonl(events, out);
+      }
+    }
+  }
+};
 
 void dump_estimates(SessionManager& mgr, const std::vector<SessionManager::SessionId>& ids,
                     const std::string& tag) {
@@ -188,7 +237,7 @@ std::size_t ingest_step(SessionManager& mgr, SessionManager::SessionId id,
 }
 
 int run_synthetic(const Options& opt, const Scenario& scenario, SessionManager& mgr,
-                  const std::vector<SessionManager::SessionId>& ids) {
+                  const std::vector<SessionManager::SessionId>& ids, const ObsOutputs& obsout) {
   // One simulator + noise stream per session: independent tenants watching
   // the same scenario layout.
   std::vector<MeasurementSimulator> sims;
@@ -204,13 +253,14 @@ int run_synthetic(const Options& opt, const Scenario& scenario, SessionManager& 
     mgr.drain_all();
     if (opt.dump_every != 0 && (t + 1) % opt.dump_every == 0) {
       dump_estimates(mgr, ids, "t=" + std::to_string(t + 1));
+      obsout.flush();
     }
   }
   return 0;
 }
 
 int run_replay(const Options& opt, SessionManager& mgr,
-               const std::vector<SessionManager::SessionId>& ids) {
+               const std::vector<SessionManager::SessionId>& ids, const ObsOutputs& obsout) {
   const MeasurementTrace trace = MeasurementTrace::load_csv_file(opt.replay_path);
   std::cout << "replaying " << trace.num_measurements() << " measurements over "
             << trace.num_steps() << " steps into " << ids.size() << " session(s)\n";
@@ -221,12 +271,14 @@ int run_replay(const Options& opt, SessionManager& mgr,
     mgr.drain_all();
     if (opt.dump_every != 0 && (t + 1) % opt.dump_every == 0) {
       dump_estimates(mgr, ids, "t=" + std::to_string(t + 1));
+      obsout.flush();
     }
   }
   return 0;
 }
 
-int run_stdin(SessionManager& mgr, const std::vector<SessionManager::SessionId>& ids) {
+int run_stdin(SessionManager& mgr, const std::vector<SessionManager::SessionId>& ids,
+              const ObsOutputs& obsout) {
   // Minimal line protocol; session ids are the ones printed at startup.
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -237,6 +289,7 @@ int run_stdin(SessionManager& mgr, const std::vector<SessionManager::SessionId>&
       if (cmd == "quit") break;
       if (cmd == "drain") {
         std::cout << "drained " << mgr.drain_all() << " reading(s)\n";
+        obsout.flush();
       } else if (cmd == "ingest") {
         SessionManager::SessionId id = 0;
         SessionReading r;
@@ -296,7 +349,20 @@ int main(int argc, char** argv) {
   cfg.drain_order = opt.order_by_timestamp ? DrainOrder::kTimestamp : DrainOrder::kArrival;
 
   ThreadPool pool(opt.threads, opt.threads);
-  SessionManager mgr(pool);
+  // Observability backends are created only when a dump path asks for them:
+  // the default run carries a null handle and pays nothing (the manager
+  // falls back to session-owned latency histograms for its stats).
+  obs::MetricsRegistry registry;
+  std::optional<obs::TraceSink> sink;
+  if (!opt.trace_out.empty()) {
+    sink.emplace(obs::TraceSink::kDefaultCapacity, opt.trace_sample);
+  }
+  ObsOutputs obsout;
+  obsout.metrics_path = opt.metrics_out;
+  obsout.trace_path = opt.trace_out;
+  if (!opt.metrics_out.empty()) obsout.metrics = &registry;
+  if (sink) obsout.trace = &*sink;
+  SessionManager mgr(pool, ServiceObservability{obsout.metrics, obsout.trace});
   std::vector<SessionManager::SessionId> ids;
   for (std::size_t k = 0; k < opt.sessions; ++k) {
     ids.push_back(mgr.open(scenario.env, scenario.sensors, cfg, opt.seed ^ (k * 7919)));
@@ -307,14 +373,15 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (opt.use_stdin) {
-    rc = run_stdin(mgr, ids);
+    rc = run_stdin(mgr, ids, obsout);
   } else if (!opt.replay_path.empty()) {
-    rc = run_replay(opt, mgr, ids);
+    rc = run_replay(opt, mgr, ids, obsout);
   } else {
-    rc = run_synthetic(opt, scenario, mgr, ids);
+    rc = run_synthetic(opt, scenario, mgr, ids, obsout);
   }
   mgr.drain_all();
   dump_estimates(mgr, ids, "final");
   dump_stats(mgr, ids);
+  obsout.flush();
   return rc;
 }
